@@ -1,0 +1,150 @@
+// Benchmarks regenerating every table and figure of the paper (plus the
+// per-claim experiments E1–E9 of DESIGN.md). Each benchmark runs the full
+// experiment and reports its headline metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's evaluation in one command. Absolute numbers come
+// from the deterministic cost model (see EXPERIMENTS.md for the
+// paper-vs-measured discussion); the asserted *shapes* — who wins, by
+// what factor, where saturation sets in — are the reproduction targets.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const benchSeed = 1234
+
+func runExperiment(b *testing.B, id string, report func(b *testing.B, r *experiments.Result)) {
+	b.Helper()
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := spec.Run(benchSeed)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && report != nil {
+			report(b, r)
+		}
+	}
+}
+
+// BenchmarkFig1ArchitectureComparison regenerates Figure 1's point: the
+// HPC compute/storage split versus the Hadoop data-local layout.
+func BenchmarkFig1ArchitectureComparison(b *testing.B) {
+	runExperiment(b, "FIG1", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.Fig1Result)
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Slowdown, "hpc-slowdown-at-16-nodes")
+		b.ReportMetric(last.LocalityPercent, "locality-%")
+	})
+}
+
+// BenchmarkFig2TopologyRender regenerates Figure 2 from live state.
+func BenchmarkFig2TopologyRender(b *testing.B) {
+	runExperiment(b, "FIG2", func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(float64(len(r.Text)), "diagram-bytes")
+	})
+}
+
+// BenchmarkTable1Proficiency regenerates Table I.
+func BenchmarkTable1Proficiency(b *testing.B) { runExperiment(b, "T1", nil) }
+
+// BenchmarkTable2TimeToComplete regenerates Table II.
+func BenchmarkTable2TimeToComplete(b *testing.B) { runExperiment(b, "T2", nil) }
+
+// BenchmarkTable3Helpfulness regenerates Table III.
+func BenchmarkTable3Helpfulness(b *testing.B) { runExperiment(b, "T3", nil) }
+
+// BenchmarkTable4YearToTeach regenerates Table IV.
+func BenchmarkTable4YearToTeach(b *testing.B) { runExperiment(b, "T4", nil) }
+
+// BenchmarkTable5Curriculum regenerates Table V.
+func BenchmarkTable5Curriculum(b *testing.B) { runExperiment(b, "T5", nil) }
+
+// BenchmarkE1DeadlineMeltdown replays the Fall 2012 meltdown.
+func BenchmarkE1DeadlineMeltdown(b *testing.B) {
+	runExperiment(b, "E1", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.MeltdownResult)
+		b.ReportMetric(res.CompletedFraction(), "completed-fraction")
+		b.ReportMetric(res.RecoveryTime.Minutes(), "recovery-minutes")
+		b.ReportMetric(float64(res.DeadDataNodes), "dead-datanodes")
+	})
+}
+
+// BenchmarkE2CombinerTradeoff measures the combiner's shuffle/map-time trade.
+func BenchmarkE2CombinerTradeoff(b *testing.B) {
+	runExperiment(b, "E2", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E2Result)
+		b.ReportMetric(float64(res.Plain.ShuffleBytes)/float64(res.Combiner.ShuffleBytes), "shuffle-reduction-x")
+		b.ReportMetric(float64(res.Combiner.MapPhase)/float64(res.Plain.MapPhase), "map-phase-ratio")
+	})
+}
+
+// BenchmarkE3AirlineVariants compares the three delay-average designs.
+func BenchmarkE3AirlineVariants(b *testing.B) {
+	runExperiment(b, "E3", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E3Result)
+		b.ReportMetric(float64(res.Plain.ShuffleBytes)/float64(res.InMapper.ShuffleBytes), "plain-vs-imc-shuffle-x")
+		b.ReportMetric(float64(res.InMapper.MemoryPeak), "imc-memory-bytes")
+	})
+}
+
+// BenchmarkE4SideDataAccess measures naive vs cached side-file access.
+func BenchmarkE4SideDataAccess(b *testing.B) {
+	runExperiment(b, "E4", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E4Result)
+		b.ReportMetric(res.Ratio, "naive-vs-cached-x")
+	})
+}
+
+// BenchmarkE5SerialVsCluster measures the same-jar cluster speedup.
+func BenchmarkE5SerialVsCluster(b *testing.B) {
+	runExperiment(b, "E5", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E5Result)
+		b.ReportMetric(res.Speedup, "cluster-speedup-x")
+	})
+}
+
+// BenchmarkE6GhostDaemons sweeps the scheduler cleanup interval.
+func BenchmarkE6GhostDaemons(b *testing.B) {
+	runExperiment(b, "E6", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E6Result)
+		b.ReportMetric(res.Points[len(res.Points)-1].FailureRate, "failure-rate-at-30m")
+	})
+}
+
+// BenchmarkE7StagingTime evaluates staging cost at paper scale.
+func BenchmarkE7StagingTime(b *testing.B) {
+	runExperiment(b, "E7", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E7Result)
+		for _, p := range res.Points {
+			if p.Size == 171<<30 {
+				b.ReportMetric(p.Staging.Minutes(), "trace-staging-minutes")
+			}
+		}
+	})
+}
+
+// BenchmarkE8FsckRecovery replays the shell observation exercise.
+func BenchmarkE8FsckRecovery(b *testing.B) {
+	runExperiment(b, "E8", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E8Result)
+		b.ReportMetric(float64(res.UnderReplicatedAfterKill), "under-replicated-after-kill")
+	})
+}
+
+// BenchmarkE9Scalability measures the 1–16 node speedup curve.
+func BenchmarkE9Scalability(b *testing.B) {
+	runExperiment(b, "E9", func(b *testing.B, r *experiments.Result) {
+		res := r.Raw.(*experiments.E9Result)
+		b.ReportMetric(res.Points[len(res.Points)-1].Speedup, "speedup-at-16-nodes")
+		b.ReportMetric(res.SpeculationGain, "speculation-gain-x")
+	})
+}

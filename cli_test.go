@@ -1,0 +1,105 @@
+// End-to-end smoke tests for the command-line tools, exercising the real
+// binaries the way docs/LABS.md tells students to.
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd runs `go run ./cmd/<name> args...` with optional stdin.
+func runCmd(t *testing.T, stdin string, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + name}, args...)...)
+	cmd.Dir = "."
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIExperimentsList(t *testing.T) {
+	out := runCmd(t, "", "experiments", "-list")
+	for _, want := range []string{"FIG1", "T1", "E9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiments -list missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExperimentsRunE7(t *testing.T) {
+	out := runCmd(t, "", "experiments", "-run", "E7")
+	if !strings.Contains(out, "Google cluster trace") || !strings.Contains(out, "1h") {
+		t.Fatalf("E7 output:\n%s", out)
+	}
+}
+
+func TestCLIDatagenAndMrrun(t *testing.T) {
+	dir := t.TempDir()
+	out := runCmd(t, "", "datagen", "-out", dir, "-only", "corpus", "-scale", "0.01")
+	if !strings.Contains(out, "top word") {
+		t.Fatalf("datagen output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corpus", "shakespeare.txt")); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "wc-out")
+	out = runCmd(t, "", "mrrun", "-job", "wordcount", "-in", filepath.Join(dir, "corpus"), "-out", outDir)
+	if !strings.Contains(out, "completed successfully") {
+		t.Fatalf("mrrun output:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(outDir, "part-r-00000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "the\t") {
+		t.Fatalf("wordcount output:\n%.200s", data)
+	}
+}
+
+func TestCLIMrrunClusterMode(t *testing.T) {
+	dir := t.TempDir()
+	runCmd(t, "", "datagen", "-out", dir, "-only", "airline", "-scale", "0.02")
+	outDir := filepath.Join(dir, "air-out")
+	out := runCmd(t, "", "mrrun", "-job", "airline-avg-combiner", "-mode", "cluster",
+		"-in", filepath.Join(dir, "airline"), "-out", outDir)
+	if !strings.Contains(out, "Data-local maps") {
+		t.Fatalf("cluster mode report:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "part-r-00000")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIMinihdfsSession(t *testing.T) {
+	script := "-mkdir /user/student\n-ls /\n-fsck /\n"
+	out := runCmd(t, script, "minihdfs", "-nodes", "4")
+	for _, want := range []string{"$ hadoop fs -mkdir", "is HEALTHY"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("minihdfs session missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIMyhadoopFlow(t *testing.T) {
+	out := runCmd(t, "", "myhadoop", "-nodes", "4", "-pool", "8")
+	for _, want := range []string{"reservation granted", "wordcount", "released cleanly"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("myhadoop flow missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIMyhadoopShowScript(t *testing.T) {
+	out := runCmd(t, "", "myhadoop", "-show-script")
+	if !strings.Contains(out, "#PBS -l select=") {
+		t.Fatalf("script:\n%s", out)
+	}
+}

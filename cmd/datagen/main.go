@@ -1,0 +1,95 @@
+// Command datagen writes the course's synthetic datasets to a host
+// directory, printing the ground truth of each assignment's question so
+// results can be checked by hand.
+//
+// Usage:
+//
+//	datagen -out ./data [-scale 1.0] [-seed 1] [-only corpus,airline,movies,music,trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/vfs"
+)
+
+func main() {
+	out := flag.String("out", "./data", "output directory on the host")
+	scale := flag.Float64("scale", 1.0, "size multiplier for all datasets")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	only := flag.String("only", "", "comma-separated subset (corpus,airline,movies,music,trace)")
+	flag.Parse()
+
+	fs, err := vfs.NewOsFS(*out)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	sc := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	if sel("corpus") {
+		truth, n, err := datagen.Text(fs, "/corpus/shakespeare.txt",
+			datagen.TextOpts{Lines: sc(100000), Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("corpus: %d bytes; top word %q x%d\n", n, truth.TopWord, truth.TopWordCount)
+	}
+	if sel("airline") {
+		truth, n, err := datagen.Airline(fs, "/airline/ontime.csv",
+			datagen.AirlineOpts{Rows: sc(200000), Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("airline: %d bytes; lowest average delay: %s (%.2f min)\n",
+			n, truth.BestCode, truth.Avg(truth.BestCode))
+	}
+	if sel("movies") {
+		truth, n, err := datagen.Movies(fs, "/movielens",
+			datagen.MovieOpts{Movies: sc(1000), Users: sc(2000), Ratings: sc(100000), Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("movies: %d bytes; most active user %d (%d ratings, favourite %s)\n",
+			n, truth.TopUser, truth.TopUserCount, truth.FavGenre)
+	}
+	if sel("music") {
+		truth, n, err := datagen.Music(fs, "/yahoomusic",
+			datagen.MusicOpts{Songs: sc(2000), Albums: sc(200), Users: sc(1500), Ratings: sc(150000), Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("music: %d bytes; best album %d (avg %.2f)\n", n, truth.BestAlbum, truth.BestAvg)
+	}
+	if sel("trace") {
+		truth, n, err := datagen.Trace(fs, "/googletrace/task_events.csv",
+			datagen.TraceOpts{Jobs: sc(200), MeanTasks: 25, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d bytes (%d events); job %d has most resubmissions (%d)\n",
+			n, truth.Events, truth.MaxJob, truth.MaxResub)
+	}
+	fmt.Printf("datasets written under %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's tables and figures and the
+// per-claim experiments of DESIGN.md.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run FIG1
+//	experiments -run all [-seed 1234]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	seed := flag.Int64("seed", 1234, "deterministic seed")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, s := range experiments.Registry() {
+			fmt.Printf("%-5s %s\n", s.ID, s.Title)
+		}
+	case strings.EqualFold(*run, "all"):
+		for _, s := range experiments.Registry() {
+			res, err := s.Run(*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println(res)
+		}
+	case *run != "":
+		s, ok := experiments.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		res, err := s.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

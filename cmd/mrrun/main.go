@@ -1,0 +1,129 @@
+// Command mrrun runs any registered course job either standalone (the
+// first assignment's no-HDFS mode, against the host filesystem) or on a
+// simulated HDFS cluster (the second assignment's mode), printing the
+// job report students were asked to study.
+//
+// Usage:
+//
+//	mrrun -list
+//	mrrun -job wordcount -in ./data -out ./out
+//	mrrun -job top-album -mode cluster -in ./ym/ratings.tsv -side ./ym/songs.tsv -out ./out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/jobs"
+	"repro/internal/serial"
+	"repro/internal/vfs"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered jobs")
+	jobName := flag.String("job", "", "job to run (see -list)")
+	mode := flag.String("mode", "standalone", "standalone | cluster")
+	in := flag.String("in", "", "input file or directory (host path)")
+	out := flag.String("out", "", "output directory (host path; must not exist)")
+	side := flag.String("side", "", "side file for join jobs (host path)")
+	nodes := flag.Int("nodes", 8, "cluster mode: node count")
+	blockSize := flag.Int64("block", 1<<20, "cluster mode: HDFS block size")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	if *list {
+		for _, s := range jobs.Registry() {
+			needs := ""
+			if s.NeedsSide {
+				needs = " (needs -side)"
+			}
+			fmt.Printf("%-26s %s%s\n", s.Name, s.Description, needs)
+		}
+		return
+	}
+	if *jobName == "" || *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, ok := jobs.Lookup(*jobName)
+	if !ok {
+		fatal(fmt.Errorf("unknown job %q (use -list)", *jobName))
+	}
+
+	host, err := vfs.NewOsFS("/")
+	if err != nil {
+		fatal(err)
+	}
+	inAbs, outAbs := mustAbs(*in), mustAbs(*out)
+	sideAbs := ""
+	if *side != "" {
+		sideAbs = mustAbs(*side)
+	}
+
+	switch *mode {
+	case "standalone":
+		job, err := spec.Build(jobs.Params{Input: inAbs, Output: outAbs, Side: sideAbs})
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := (&serial.Runner{FS: host, Parallelism: 4}).Run(job)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		fmt.Printf("Output written to %s\n", outAbs)
+	case "cluster":
+		c, err := core.New(core.Options{
+			Nodes: *nodes,
+			Seed:  *seed,
+			HDFS:  hdfs.Config{BlockSize: *blockSize},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Stage inputs into HDFS, run, export results back — the myHadoop
+		// submission-script flow.
+		if _, err := vfs.CopyTree(host, inAbs, c.FS(), "/in"); err != nil {
+			fatal(fmt.Errorf("staging input: %w", err))
+		}
+		p := jobs.Params{Input: "/in", Output: "/out"}
+		if sideAbs != "" {
+			if _, err := vfs.CopyTree(host, sideAbs, c.FS(), "/side"+filepath.Ext(sideAbs)); err != nil {
+				fatal(fmt.Errorf("staging side file: %w", err))
+			}
+			p.Side = "/side" + filepath.Ext(sideAbs)
+		}
+		job, err := spec.Build(p)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := c.Run(job)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		if _, err := vfs.CopyTree(c.FS(), "/out", host, outAbs); err != nil {
+			fatal(fmt.Errorf("exporting output: %w", err))
+		}
+		fmt.Printf("Output copied to local filesystem at %s\n", outAbs)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func mustAbs(p string) string {
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		fatal(err)
+	}
+	return filepath.ToSlash(abs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command myhadoop simulates the course's dynamic Hadoop-on-PBS workflow:
+// reserve nodes from the shared pool, provision a private Hadoop cluster,
+// run a WordCount, export results and tear down. Flags demonstrate the
+// ghost-daemon failure mode the paper describes.
+//
+// Usage:
+//
+//	myhadoop [-pool 16] [-nodes 8] [-walltime 2h] [-unclean-previous]
+//	         [-cleanup 15m] [-wait-cleanup] [-show-script]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/hdfs"
+	"repro/internal/jobs"
+	"repro/internal/myhadoop"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func main() {
+	pool := flag.Int("pool", 16, "supercomputer pool size (nodes)")
+	nodes := flag.Int("nodes", 8, "nodes to reserve")
+	walltime := flag.Duration("walltime", 2*time.Hour, "reservation walltime")
+	cleanup := flag.Duration("cleanup", 15*time.Minute, "scheduler cleanup interval")
+	uncleanPrev := flag.Bool("unclean-previous", false, "a previous student exited without stopping Hadoop")
+	waitCleanup := flag.Bool("wait-cleanup", false, "wait for the cleanup script when blocked by ghosts")
+	showScript := flag.Bool("show-script", false, "print the PBS submission script and exit")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	if *showScript {
+		fmt.Print(myhadoop.DefaultScript("student", *nodes, *walltime).Render())
+		return
+	}
+
+	eng := sim.NewEngine()
+	topo := cluster.NewTopology(cluster.PaperNodeConfig(*pool, 1))
+	pbs := myhadoop.NewPBS(eng, topo, *cleanup)
+
+	if *uncleanPrev {
+		prev, err := pbs.Submit("previous-student", *nodes, time.Hour)
+		if err != nil {
+			fatal(err)
+		}
+		run, err := myhadoop.Provision(pbs, prev, myhadoop.ProvisionOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		run.ExitWithoutStopping()
+		pbs.Release(prev)
+		fmt.Println("[scenario] previous student exited without stop-all.sh; daemons orphaned")
+	}
+
+	res, err := pbs.Submit("student", *nodes, *walltime)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("[pbs] reservation granted: %d nodes, walltime %v\n", len(res.Allocated), *walltime)
+
+	run, err := myhadoop.Provision(pbs, res, myhadoop.ProvisionOptions{
+		HDFS: hdfs.Config{BlockSize: 256 << 10},
+		Seed: *seed,
+	})
+	var ghost *myhadoop.GhostDaemonError
+	if errors.As(err, &ghost) {
+		fmt.Printf("[myhadoop] provisioning FAILED: %v\n", ghost)
+		if !*waitCleanup {
+			fmt.Println("[myhadoop] rerun with -wait-cleanup to wait for the scheduler's cleanup script")
+			os.Exit(1)
+		}
+		fmt.Printf("[myhadoop] waiting %v for the cleanup script...\n", *cleanup)
+		eng.Advance(*cleanup + time.Minute)
+		run, err = myhadoop.Provision(pbs, res, myhadoop.ProvisionOptions{
+			HDFS: hdfs.Config{BlockSize: 256 << 10},
+			Seed: *seed,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("[myhadoop] Hadoop daemons started; HDFS healthy")
+
+	client := run.DFS.Client(hdfs.GatewayNode)
+	if _, _, err := datagen.Text(client, "/user/student/input/corpus.txt",
+		datagen.TextOpts{Lines: 20000, Seed: *seed}); err != nil {
+		fatal(err)
+	}
+	fmt.Println("[job] staged corpus into HDFS; running wordcount")
+	rep, err := run.MR.Run(jobs.WordCount("/user/student/input", "/user/student/out", true))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+
+	local := vfs.NewMemFS()
+	n, err := vfs.CopyTree(client, "/user/student/out", local, "/home/student/out")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("[job] copied %d bytes of results back to the home directory\n", n)
+
+	run.StopDaemons()
+	pbs.Release(res)
+	fmt.Println("[myhadoop] stop-all.sh + myhadoop-cleanup.sh done; nodes released cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "myhadoop:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Google trace assignment (assignment 2, Fall 2012): analyze a data
+// center system log and find the computing job with the largest number of
+// task resubmissions. This example also demonstrates the fault tolerance
+// a real class needs: a TaskTracker crashes mid-job and the JobTracker
+// reschedules its work without losing the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hdfs"
+	"repro/internal/jobs"
+	"repro/internal/mapreduce"
+	"repro/internal/mrcluster"
+)
+
+func main() {
+	c, err := core.New(core.Options{
+		Nodes: 8,
+		Seed:  23,
+		HDFS: hdfs.Config{
+			BlockSize:         128 << 10,
+			HeartbeatInterval: time.Second,
+			HeartbeatExpiry:   10 * time.Second,
+		},
+		MR: mrcluster.Config{
+			HeartbeatInterval: time.Second,
+			TrackerExpiry:     5 * time.Second,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, n, err := datagen.Trace(c.FS(), "/data/trace/task_events.csv",
+		datagen.TraceOpts{Jobs: 120, MeanTasks: 25, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("staged %d bytes of cluster-trace events (%d events) into HDFS\n", n, truth.Events)
+
+	// Submit, then crash a TaskTracker while the job runs.
+	h, err := c.MR.Submit(jobs.TraceMaxResubmissions("/data/trace", "/out"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Engine.Advance(2 * time.Second)
+	if !h.Done() {
+		c.MR.KillTaskTracker(3)
+		fmt.Println("TaskTracker on node 3 crashed mid-job; JobTracker reschedules its tasks")
+	}
+	for !h.Done() {
+		if !c.Engine.Step() {
+			log.Fatal("simulation stalled")
+		}
+	}
+	if err := h.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rep := h.Report()
+	fmt.Print(rep)
+	fmt.Printf("task attempts killed by the crash: %d\n",
+		rep.Counters.Get(mapreduce.CtrKilledTaskAttempts))
+
+	out, err := c.Output("/out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobID, resub, ok := jobs.ParseTraceAnswer(out)
+	if !ok {
+		log.Fatalf("unparseable answer %q", out)
+	}
+	fmt.Printf("\nanswer: job %d with %d task resubmissions\n", jobID, resub)
+	fmt.Printf("ground truth: job %d with %d resubmissions\n", truth.MaxJob, truth.MaxResub)
+}

@@ -1,0 +1,67 @@
+// Movies assignment (assignment 1, Spring 2013): descriptive statistics
+// of ratings per movie genre with a side-data join, run in the
+// assignment's standalone mode (MapReduce API, plain filesystem, no
+// HDFS). Shows both side-data access patterns and answers part 2: the
+// most active user and their favourite genre.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/jobs"
+	"repro/internal/mapreduce"
+	"repro/internal/serial"
+	"repro/internal/vfs"
+)
+
+func main() {
+	fs := vfs.NewMemFS()
+	truth, n, err := datagen.Movies(fs, "/ml", datagen.MovieOpts{
+		Movies: 500, Users: 800, Ratings: 50000, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d bytes of MovieLens-style data (movies.dat + ratings.dat)\n\n", n)
+	runner := &serial.Runner{FS: fs, Parallelism: 4}
+
+	// Part 1: per-genre statistics, efficient side-data pattern.
+	rep, err := runner.Run(jobs.MovieGenreStats("/ml/ratings.dat", "/ml/movies.dat", "/out-genres", true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := serial.ReadOutput(fs, "/out-genres")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-genre rating statistics (cached side data):")
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		fmt.Println("  " + line)
+	}
+	fmt.Printf("side file opened %d time(s) across %d map tasks\n\n",
+		rep.Counters.Get(mapreduce.CtrSideFileOpens), rep.MapTasks)
+
+	// The anti-pattern, for contrast: re-read movies.dat per record.
+	repNaive, err := runner.Run(jobs.MovieGenreStats("/ml/ratings.dat", "/ml/movies.dat", "/out-naive", false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive variant: side file opened %d times, %d bytes re-read (the assignment's 'order of magnitude' lesson)\n\n",
+		repNaive.Counters.Get(mapreduce.CtrSideFileOpens),
+		repNaive.Counters.Get(mapreduce.CtrSideFileBytesRead))
+
+	// Part 2: most active user + favourite genre (custom output value).
+	if _, err := runner.Run(jobs.MostActiveUser("/ml/ratings.dat", "/ml/movies.dat", "/out-user")); err != nil {
+		log.Fatal(err)
+	}
+	userOut, err := serial.ReadOutput(fs, "/out-user")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("most active user: %s", userOut)
+	fmt.Printf("ground truth: user %d with %d ratings, favourite %s\n",
+		truth.TopUser, truth.TopUserCount, truth.FavGenre)
+}

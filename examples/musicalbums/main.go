@@ -1,0 +1,71 @@
+// Music assignment (assignment 2, Spring 2013): stage the Yahoo!-style
+// song database into HDFS with fs commands, inspect how HDFS stores and
+// replicates it, find the album with the highest average rating on the
+// cluster, and export the answer back to the local filesystem — the full
+// myHadoop submission-script flow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hdfs"
+	"repro/internal/jobs"
+	"repro/internal/vfs"
+)
+
+func main() {
+	c, err := core.New(core.Options{
+		Nodes: 8,
+		Seed:  11,
+		HDFS:  hdfs.Config{BlockSize: 256 << 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate the dataset on the "home directory" filesystem.
+	local := vfs.NewMemFS()
+	truth, _, err := datagen.Music(local, "/home/student/ym", datagen.MusicOpts{
+		Songs: 1500, Albums: 120, Users: 900, Ratings: 80000, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage with fs commands and observe the block layout, as the
+	// assignment hand-in required.
+	sh := c.Shell(local, os.Stdout)
+	script := `
+hadoop fs -mkdir /user/student
+hadoop fs -put /home/student/ym/ratings.tsv /user/student/ratings.tsv
+hadoop fs -put /home/student/ym/songs.tsv /user/student/songs.tsv
+hadoop fs -ls /user/student
+hadoop fs -locations /user/student/ratings.tsv
+hadoop fs -fsck /
+`
+	if err := sh.RunScript(script); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the analysis on the cluster.
+	rep, err := c.Run(jobs.TopAlbum("/user/student/ratings.tsv", "/user/student/songs.tsv", "/user/student/out"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+
+	// Export results home (hadoop fs -copyToLocal).
+	if err := sh.Run("-copyToLocal", "/user/student/out", "/home/student/out"); err != nil {
+		log.Fatal(err)
+	}
+	answer, err := vfs.ReadFile(local, "/home/student/out/part-r-00000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanswer: %s", answer)
+	fmt.Printf("ground truth: album %d, average %.2f\n", truth.BestAlbum, truth.BestAvg)
+}

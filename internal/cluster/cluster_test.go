@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTopologyDefaults(t *testing.T) {
+	top := NewTopology(Config{})
+	if top.Len() != 8 {
+		t.Fatalf("default nodes = %d, want 8", top.Len())
+	}
+	if top.Racks() != 1 {
+		t.Fatalf("default racks = %d, want 1", top.Racks())
+	}
+	if top.Node(0).Hostname != "node000" {
+		t.Fatalf("hostname = %q", top.Node(0).Hostname)
+	}
+}
+
+func TestRackAssignmentRoundRobin(t *testing.T) {
+	top := NewTopology(Config{Nodes: 6, Racks: 2})
+	for _, n := range top.Nodes() {
+		want := int(n.ID) % 2
+		if n.Rack != want {
+			t.Fatalf("node %d rack = %d, want %d", n.ID, n.Rack, want)
+		}
+	}
+	if got := top.NodesInRack(0); len(got) != 3 {
+		t.Fatalf("rack 0 has %d nodes, want 3", len(got))
+	}
+}
+
+func TestRacksCappedByNodes(t *testing.T) {
+	top := NewTopology(Config{Nodes: 2, Racks: 10})
+	if top.Racks() != 2 {
+		t.Fatalf("racks = %d, want capped at 2", top.Racks())
+	}
+}
+
+func TestDistance(t *testing.T) {
+	top := NewTopology(Config{Nodes: 4, Racks: 2})
+	if d := top.Distance(0, 0); d != 0 {
+		t.Fatalf("same node distance = %d", d)
+	}
+	if d := top.Distance(0, 2); d != 2 { // both rack 0
+		t.Fatalf("same rack distance = %d", d)
+	}
+	if d := top.Distance(0, 1); d != 4 { // racks 0 and 1
+		t.Fatalf("cross rack distance = %d", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	top := NewTopology(Config{Nodes: 16, Racks: 4})
+	if err := quick.Check(func(a, b uint8) bool {
+		x := NodeID(int(a) % 16)
+		y := NodeID(int(b) % 16)
+		return top.Distance(x, y) == top.Distance(y, x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeOutOfRange(t *testing.T) {
+	top := NewTopology(Config{Nodes: 2})
+	if top.Node(5) != nil || top.Node(-1) != nil {
+		t.Fatal("out-of-range lookup returned a node")
+	}
+	if top.RackOf(99) != -1 {
+		t.Fatal("RackOf out-of-range should be -1")
+	}
+}
+
+func TestPaperNodeConfig(t *testing.T) {
+	top := NewTopology(PaperNodeConfig(8, 1))
+	n := top.Node(0)
+	if n.Cores != 16 || n.RAMBytes != 64<<30 || n.DiskBytes != 850<<30 {
+		t.Fatalf("paper node resources wrong: %+v", n)
+	}
+}
+
+func TestDiskReadScalesWithBytes(t *testing.T) {
+	c := DefaultCostModel()
+	small := c.DiskRead(1 * MB)
+	big := c.DiskRead(100 * MB)
+	if big <= small {
+		t.Fatal("reading more bytes should take longer")
+	}
+	// 120 MB/s → 100 MB in ~0.83s plus seek.
+	want := 100.0 / 120.0
+	got := (big - c.DiskSeek).Seconds()
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("100MB read = %.3fs, want ≈%.3fs", got, want)
+	}
+}
+
+func TestTransferDistanceOrdering(t *testing.T) {
+	c := DefaultCostModel()
+	local := c.Transfer(0, 64*MB)
+	rack := c.Transfer(2, 64*MB)
+	core := c.Transfer(4, 64*MB)
+	if local != 0 {
+		t.Fatalf("local transfer should be free, got %v", local)
+	}
+	if !(rack < core) {
+		t.Fatalf("rack (%v) should beat cross-rack (%v)", rack, core)
+	}
+}
+
+func TestZeroBytesCostsNothingOnNetwork(t *testing.T) {
+	c := DefaultCostModel()
+	if d := c.Transfer(4, 0); d != 0 {
+		t.Fatalf("zero-byte transfer cost %v", d)
+	}
+}
+
+func TestParallelStorageContention(t *testing.T) {
+	c := DefaultCostModel()
+	alone := c.ParallelStorageRead(64*MB, 1)
+	crowded := c.ParallelStorageRead(64*MB, 64)
+	if crowded <= alone {
+		t.Fatalf("64 concurrent readers (%v) should be slower than 1 (%v)", crowded, alone)
+	}
+}
+
+func TestParallelStorageCappedByLink(t *testing.T) {
+	c := DefaultCostModel()
+	// A single reader cannot exceed its own network link even though the
+	// array could serve 1200 MB/s.
+	got := c.ParallelStorageRead(400*MB, 1)
+	wantMin := timeFor(400*MB, c.CoreBW)
+	if got < wantMin {
+		t.Fatalf("single reader faster (%v) than its link allows (%v)", got, wantMin)
+	}
+}
+
+func TestVirtualizedTransferIsPainful(t *testing.T) {
+	c := DefaultCostModel()
+	// The paper measured ~1 MB/s; 60 MB should take about a minute.
+	got := c.VirtualizedTransfer(60 * MB)
+	if got < 55*time.Second || got > 70*time.Second {
+		t.Fatalf("60MB over virtual NIC = %v, want ≈1 minute", got)
+	}
+}
+
+func TestCostMonotoneInBytes(t *testing.T) {
+	c := DefaultCostModel()
+	if err := quick.Check(func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.DiskRead(x) <= c.DiskRead(y) &&
+			c.Transfer(2, x) <= c.Transfer(2, y) &&
+			c.Transfer(4, x) <= c.Transfer(4, y)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUWorkCost(t *testing.T) {
+	w := CPUWork{Startup: time.Second, PerByte: time.Nanosecond, PerRecord: time.Microsecond}
+	got := w.Cost(1000, 10)
+	want := time.Second + 1000*time.Nanosecond + 10*time.Microsecond
+	if got != want {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+}

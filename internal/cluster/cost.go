@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"time"
+)
+
+// Byte-size constants used throughout the cost model.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// CostModel converts byte counts and network distances into virtual time.
+// Bandwidths are bytes/second. The defaults approximate the 2013-era
+// hardware the paper describes: 7200 rpm HDDs (~120 MB/s sequential),
+// gigabit rack links, an oversubscribed core, and — for the HPC layout —
+// a parallel storage system whose aggregate bandwidth is shared by every
+// concurrent reader in the machine room.
+type CostModel struct {
+	// DiskReadBW / DiskWriteBW are local-disk sequential bandwidths.
+	DiskReadBW  int64
+	DiskWriteBW int64
+	// DiskSeek is charged once per disk operation.
+	DiskSeek time.Duration
+	// RackBW is the node link bandwidth within a rack (distance 2).
+	RackBW int64
+	// CoreBW is the per-flow bandwidth across racks (distance 4), already
+	// discounted for oversubscription.
+	CoreBW int64
+	// NetLatency is charged once per network transfer.
+	NetLatency time.Duration
+	// ParallelStorageAggBW is the aggregate bandwidth of the HPC layout's
+	// shared parallel filesystem. Per-reader bandwidth is this divided by
+	// the number of concurrent readers, capped by the node link.
+	ParallelStorageAggBW int64
+	// VirtualizedNetBW models the crippled virtual-network path the paper
+	// measured (~1 MB/s) when VMs ran inside supercomputer nodes.
+	VirtualizedNetBW int64
+}
+
+// DefaultCostModel returns the calibrated teaching-cluster model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		DiskReadBW:           120 * MB,
+		DiskWriteBW:          90 * MB,
+		DiskSeek:             8 * time.Millisecond,
+		RackBW:               110 * MB, // ~gigabit ethernet payload rate
+		CoreBW:               40 * MB,  // oversubscribed core switch
+		NetLatency:           300 * time.Microsecond,
+		ParallelStorageAggBW: 1200 * MB, // shared scratch array
+		VirtualizedNetBW:     1 * MB,
+	}
+}
+
+func timeFor(bytes, bw int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	if bw <= 0 {
+		bw = 1
+	}
+	return time.Duration(float64(bytes) / float64(bw) * float64(time.Second))
+}
+
+// DiskRead returns the modelled time to sequentially read bytes from a
+// local disk.
+func (c CostModel) DiskRead(bytes int64) time.Duration {
+	return c.DiskSeek + timeFor(bytes, c.DiskReadBW)
+}
+
+// DiskWrite returns the modelled time to sequentially write bytes to a
+// local disk.
+func (c CostModel) DiskWrite(bytes int64) time.Duration {
+	return c.DiskSeek + timeFor(bytes, c.DiskWriteBW)
+}
+
+// Transfer returns the modelled time to move bytes between two nodes at
+// the given Hadoop network distance (0, 2 or 4). Distance 0 is free: the
+// bytes never leave the machine.
+func (c CostModel) Transfer(distance int, bytes int64) time.Duration {
+	switch {
+	case bytes <= 0 || distance <= 0:
+		return 0
+	case distance <= 2:
+		return c.NetLatency + timeFor(bytes, c.RackBW)
+	default:
+		return c.NetLatency + timeFor(bytes, c.CoreBW)
+	}
+}
+
+// ParallelStorageRead returns the modelled time for one of `readers`
+// concurrent clients to read bytes from the shared parallel filesystem of
+// the HPC layout. Aggregate bandwidth is divided evenly among readers and
+// capped by the reader's own network link.
+func (c CostModel) ParallelStorageRead(bytes int64, readers int) time.Duration {
+	if readers < 1 {
+		readers = 1
+	}
+	per := c.ParallelStorageAggBW / int64(readers)
+	if per > c.CoreBW {
+		per = c.CoreBW
+	}
+	if per <= 0 {
+		per = 1
+	}
+	return c.NetLatency + timeFor(bytes, per)
+}
+
+// VirtualizedTransfer returns the modelled time across the ~1 MB/s virtual
+// NIC path of the paper's first-semester VM setup.
+func (c CostModel) VirtualizedTransfer(bytes int64) time.Duration {
+	return c.NetLatency + timeFor(bytes, c.VirtualizedNetBW)
+}
+
+// CPUWork models computation cost for a task: a fixed startup charge plus
+// per-byte and per-record costs.
+type CPUWork struct {
+	Startup   time.Duration
+	PerByte   time.Duration
+	PerRecord time.Duration
+}
+
+// Cost returns the modelled compute time for processing the given volume.
+func (w CPUWork) Cost(bytes, records int64) time.Duration {
+	return w.Startup +
+		time.Duration(bytes)*w.PerByte +
+		time.Duration(records)*w.PerRecord
+}
+
+// DefaultMapWork approximates a lightweight text-processing map function:
+// JVM-ish task startup plus parsing cost.
+func DefaultMapWork() CPUWork {
+	return CPUWork{Startup: 1500 * time.Millisecond, PerByte: 4 * time.Nanosecond, PerRecord: 500 * time.Nanosecond}
+}
+
+// DefaultReduceWork approximates an aggregation-style reduce function.
+func DefaultReduceWork() CPUWork {
+	return CPUWork{Startup: 1500 * time.Millisecond, PerByte: 3 * time.Nanosecond, PerRecord: 400 * time.Nanosecond}
+}

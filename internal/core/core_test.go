@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hdfs"
+	"repro/internal/jobs"
+	"repro/internal/vfs"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := core.New(core.Options{Nodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _, err := datagen.Text(c.FS(), "/user/student/input/corpus.txt", datagen.TextOpts{Lines: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(jobs.WordCount("/user/student/input", "/user/student/out", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatal("job failed")
+	}
+	out, err := c.Output("/user/student/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "the\t") {
+		t.Fatalf("output missing 'the':\n%.300s", out)
+	}
+	_ = truth
+}
+
+func TestShellIntegration(t *testing.T) {
+	c, err := core.New(core.Options{Nodes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := vfs.NewMemFS()
+	if err := vfs.WriteFile(local, "/data.txt", []byte("x y z\n")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sh := c.Shell(local, &buf)
+	if err := sh.RunScript("-mkdir /user\n-put /data.txt /user/data.txt\n-fsck /"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "is HEALTHY") {
+		t.Fatalf("shell transcript:\n%s", buf.String())
+	}
+}
+
+func TestRenderTopologyShowsComponents(t *testing.T) {
+	c, err := core.New(core.Options{Nodes: 4, Seed: 5, HDFS: coreHDFSSmallBlocks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c.FS(), "/data/f.txt", make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	top := c.RenderTopology()
+	for _, want := range []string{
+		"[NameNode]", "[JobTracker]",
+		"f.txt (3000 bytes, 3 block(s)",
+		"DataNode[up] TaskTracker[up]",
+		"blk_", "node000",
+	} {
+		if !strings.Contains(top, want) {
+			t.Fatalf("topology missing %q:\n%s", want, top)
+		}
+	}
+}
+
+func TestDefaultsMatchPaperCluster(t *testing.T) {
+	c, err := core.New(core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Topology.Len() != 8 {
+		t.Fatalf("default nodes = %d", c.Topology.Len())
+	}
+	n := c.Topology.Node(0)
+	if n.Cores != 16 || n.RAMBytes != 64<<30 || n.DiskBytes != 850<<30 {
+		t.Fatalf("node resources: %+v", n)
+	}
+	if c.DFS.NN.Config().Replication != 3 {
+		t.Fatalf("default replication = %d", c.DFS.NN.Config().Replication)
+	}
+}
+
+func coreHDFSSmallBlocks() hdfs.Config { return hdfs.Config{BlockSize: 1024} }
+
+func TestMetadataPersistenceThroughFacade(t *testing.T) {
+	meta := vfs.NewMemFS()
+	c, err := core.New(core.Options{Nodes: 4, Seed: 9, MetadataFS: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c.FS(), "/data/f.txt", []byte("persist me")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DFS.NN.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(meta, "/dfs/name/current/fsimage") {
+		t.Fatal("fsimage not written through the facade")
+	}
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/vfs"
+)
+
+// Example shows the whole teaching flow: build a cluster, stage data into
+// HDFS, run a job, read the answer.
+func Example() {
+	c, err := core.New(core.Options{Nodes: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vfs.WriteFile(c.FS(), "/in/f.txt", []byte("hdfs mapreduce hdfs\n")); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := c.Run(jobs.WordCount("/in", "/out", true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := c.Output("/out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failed=%v\n%s", rep.Failed, out)
+	// Output:
+	// failed=false
+	// hdfs	2
+	// mapreduce	1
+}
+
+// ExampleMiniCluster_Shell drives the hadoop-fs command set.
+func ExampleMiniCluster_Shell() {
+	c, err := core.New(core.Options{Nodes: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	local := vfs.NewMemFS()
+	if err := vfs.WriteFile(local, "/home/data.txt", []byte("abc")); err != nil {
+		log.Fatal(err)
+	}
+	sh := c.Shell(local, printfWriter{})
+	if err := sh.RunScript("-mkdir /user\n-put /home/data.txt /user/data.txt\n-stat /user/data.txt"); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// $ hadoop fs -mkdir /user
+	// $ hadoop fs -put /home/data.txt /user/data.txt
+	// copied 3 bytes: /home/data.txt -> /user/data.txt
+	// $ hadoop fs -stat /user/data.txt
+	// /user/data.txt: regular file, 3 bytes, replication 3, block size 2097152
+}
+
+type printfWriter struct{}
+
+func (printfWriter) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

@@ -1,0 +1,47 @@
+package curriculum
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableVComplete(t *testing.T) {
+	if len(TableV) != 6 {
+		t.Fatalf("Table V has %d rows, paper has 6", len(TableV))
+	}
+	for _, o := range TableV {
+		if o.Level == "" || o.KnowledgeArea == "" || o.KnowledgeUnit == "" || o.Text == "" {
+			t.Fatalf("incomplete row: %+v", o)
+		}
+		if o.DemonstratedBy == "" {
+			t.Fatalf("row %q not linked to a reproduction artifact", o.KnowledgeUnit)
+		}
+	}
+}
+
+func TestLevelsMatchPaper(t *testing.T) {
+	levels := Levels()
+	want := map[string]bool{"Familiarity": true, "Usage": true, "Assessment": true}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for _, l := range levels {
+		if !want[l] {
+			t.Fatalf("unexpected level %q", l)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := Render()
+	for _, want := range []string{
+		"Distributed Databases",
+		"map and reduce operations",
+		"data locality",
+		"internal/hdfs",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Carriers are the airline codes of the synthetic on-time database, with
+// a per-carrier mean arrival delay (minutes) so "average delay per
+// airline" has a meaningful, distinct answer.
+var carriers = []struct {
+	Code      string
+	MeanDelay float64
+	SD        float64
+}{
+	{"AA", 8.2, 20}, {"AS", 2.1, 12}, {"B6", 11.7, 26}, {"CO", 7.4, 19},
+	{"DL", 5.9, 17}, {"EV", 14.3, 30}, {"F9", 9.8, 22}, {"FL", 6.6, 18},
+	{"HA", -1.2, 9}, {"MQ", 12.5, 27}, {"NW", 4.8, 15}, {"OH", 10.9, 24},
+	{"OO", 7.7, 20}, {"UA", 9.1, 23}, {"US", 6.2, 18}, {"WN", 3.4, 13},
+	{"XE", 13.1, 28}, {"YV", 11.2, 25}, {"9E", 8.8, 21}, {"AQ", 0.3, 8},
+}
+
+// AirlineOpts sizes the on-time database generator.
+type AirlineOpts struct {
+	Rows int
+	Seed int64
+}
+
+// AirlineTruth is the ground truth for the airline-delay assignment.
+type AirlineTruth struct {
+	Rows     int64
+	Sums     map[string]float64
+	Counts   map[string]int64
+	BestCode string // carrier with the lowest average delay
+}
+
+// Avg returns the true average delay for a carrier.
+func (t *AirlineTruth) Avg(code string) float64 {
+	if t.Counts[code] == 0 {
+		return 0
+	}
+	return t.Sums[code] / float64(t.Counts[code])
+}
+
+// airports used for origin/destination columns.
+var airports = []string{"ATL", "ORD", "DFW", "LAX", "CLT", "PHX", "IAH", "DEN", "DTW", "MSP", "SFO", "EWR", "GSP", "CAE", "CHS"}
+
+// Airline writes the on-time CSV (header + rows) in the Data Expo 2009
+// column layout subset the course used, and returns per-carrier truth.
+func Airline(fs vfs.FileSystem, path string, opts AirlineOpts) (*AirlineTruth, int64, error) {
+	if opts.Rows <= 0 {
+		opts.Rows = 10000
+	}
+	rng := sim.NewRand(opts.Seed).Derive("airline")
+	truth := &AirlineTruth{Sums: map[string]float64{}, Counts: map[string]int64{}}
+	n, err := writeLines(fs, path, func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "Year,Month,DayofMonth,DayOfWeek,DepTime,UniqueCarrier,FlightNum,Origin,Dest,Distance,ArrDelay,DepDelay,Cancelled")
+		for i := 0; i < opts.Rows; i++ {
+			c := carriers[rng.Intn(len(carriers))]
+			cancelled := rng.Bernoulli(0.02)
+			var arrDelay int
+			if !cancelled {
+				arrDelay = int(rng.Normal(c.MeanDelay, c.SD))
+				truth.Sums[c.Code] += float64(arrDelay)
+				truth.Counts[c.Code]++
+				truth.Rows++
+			}
+			year := 2003 + rng.Intn(6)
+			month := 1 + rng.Intn(12)
+			day := 1 + rng.Intn(28)
+			dow := 1 + rng.Intn(7)
+			dep := 600 + rng.Intn(1500)
+			flight := 100 + rng.Intn(4900)
+			orig := airports[rng.Intn(len(airports))]
+			dest := airports[rng.Intn(len(airports))]
+			dist := 150 + rng.Intn(2400)
+			cancelFlag := 0
+			arrField := fmt.Sprintf("%d", arrDelay)
+			if cancelled {
+				cancelFlag = 1
+				arrField = "NA" // the real dataset uses NA for cancelled flights
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%s,%d,%s,%s,%d,%s,%d,%d\n",
+				year, month, day, dow, dep, c.Code, flight, orig, dest, dist,
+				arrField, arrDelay/2, cancelFlag); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, n, err
+	}
+	best := ""
+	bestAvg := 0.0
+	for _, c := range carriers {
+		if truth.Counts[c.Code] == 0 {
+			continue
+		}
+		avg := truth.Avg(c.Code)
+		if best == "" || avg < bestAvg {
+			best, bestAvg = c.Code, avg
+		}
+	}
+	truth.BestCode = best
+	return truth, n, nil
+}

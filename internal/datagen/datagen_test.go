@@ -1,0 +1,302 @@
+package datagen
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestTextDeterministic(t *testing.T) {
+	a := vfs.NewMemFS()
+	b := vfs.NewMemFS()
+	ta, na, err := Text(a, "/c.txt", TextOpts{Lines: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, nb, err := Text(b, "/c.txt", TextOpts{Lines: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := vfs.ReadFile(a, "/c.txt")
+	db, _ := vfs.ReadFile(b, "/c.txt")
+	if string(da) != string(db) || na != nb {
+		t.Fatal("same seed produced different corpora")
+	}
+	if ta.TopWord != tb.TopWord {
+		t.Fatal("truth differs across identical runs")
+	}
+}
+
+func TestTextTruthMatchesFile(t *testing.T) {
+	fs := vfs.NewMemFS()
+	truth, _, err := Text(fs, "/c.txt", TextOpts{Lines: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadFile(fs, "/c.txt")
+	counts := map[string]int64{}
+	var total int64
+	for _, w := range strings.Fields(string(data)) {
+		counts[w]++
+		total++
+	}
+	if total != truth.TotalWords {
+		t.Fatalf("total words %d != truth %d", total, truth.TotalWords)
+	}
+	for w, c := range truth.Counts {
+		if counts[w] != c {
+			t.Fatalf("count[%s]=%d truth=%d", w, counts[w], c)
+		}
+	}
+	if counts[truth.TopWord] != truth.TopWordCount {
+		t.Fatal("top word count mismatch")
+	}
+	// Zipf head: "the" should dominate.
+	if truth.TopWord != "the" {
+		t.Logf("top word is %q (acceptable but unusual)", truth.TopWord)
+	}
+}
+
+func TestAirlineTruthMatchesFile(t *testing.T) {
+	fs := vfs.NewMemFS()
+	truth, _, err := Airline(fs, "/airline.csv", AirlineOpts{Rows: 3000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadFile(fs, "/airline.csv")
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.HasPrefix(lines[0], "Year,Month") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	sums := map[string]float64{}
+	counts := map[string]int64{}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 13 {
+			t.Fatalf("bad column count in %q", line)
+		}
+		if f[10] == "NA" {
+			continue // cancelled
+		}
+		d, err := strconv.ParseFloat(f[10], 64)
+		if err != nil {
+			t.Fatalf("bad delay %q", f[10])
+		}
+		sums[f[5]] += d
+		counts[f[5]]++
+	}
+	for code, c := range truth.Counts {
+		if counts[code] != c {
+			t.Fatalf("counts[%s]=%d truth=%d", code, counts[code], c)
+		}
+		if diff := sums[code] - truth.Sums[code]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("sums[%s]=%f truth=%f", code, sums[code], truth.Sums[code])
+		}
+	}
+	if truth.BestCode == "" {
+		t.Fatal("no best carrier computed")
+	}
+}
+
+func TestMoviesTruthConsistent(t *testing.T) {
+	fs := vfs.NewMemFS()
+	truth, _, err := Movies(fs, "/ml", MovieOpts{Movies: 50, Users: 100, Ratings: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// movies.dat: every movie present with 1–3 genres.
+	data, _ := vfs.ReadFile(fs, "/ml/movies.dat")
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("movies.dat has %d lines", len(lines))
+	}
+	for _, line := range lines {
+		parts := strings.Split(line, "::")
+		if len(parts) != 3 {
+			t.Fatalf("bad movie line %q", line)
+		}
+		ngen := len(strings.Split(parts[2], "|"))
+		if ngen < 1 || ngen > 3 {
+			t.Fatalf("movie has %d genres", ngen)
+		}
+	}
+	// ratings.dat row count and user totals agree with truth.
+	rdata, _ := vfs.ReadFile(fs, "/ml/ratings.dat")
+	rlines := strings.Split(strings.TrimSpace(string(rdata)), "\n")
+	if len(rlines) != 3000 {
+		t.Fatalf("ratings.dat has %d lines", len(rlines))
+	}
+	var totalUser int64
+	for _, c := range truth.UserRatings {
+		totalUser += c
+	}
+	if totalUser != 3000 {
+		t.Fatalf("truth user totals = %d", totalUser)
+	}
+	if truth.TopUser == 0 || truth.TopUserCount == 0 || truth.FavGenre == "" {
+		t.Fatalf("incomplete truth: %+v", truth)
+	}
+	// The Zipf head user should clearly dominate.
+	if truth.TopUserCount < 3000/20 {
+		t.Fatalf("top user only has %d ratings; Zipf skew too weak", truth.TopUserCount)
+	}
+}
+
+func TestMusicTruthConsistent(t *testing.T) {
+	fs := vfs.NewMemFS()
+	truth, _, err := Music(fs, "/ym", MusicOpts{Songs: 100, Albums: 10, Users: 50, Ratings: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.BestAlbum == 0 {
+		t.Fatal("no best album")
+	}
+	// Recompute from the files.
+	songs, _ := vfs.ReadFile(fs, "/ym/songs.tsv")
+	songAlbum := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(songs)), "\n") {
+		f := strings.Split(line, "\t")
+		songAlbum[f[0]] = f[1]
+	}
+	if len(songAlbum) != 100 {
+		t.Fatalf("songs.tsv rows = %d", len(songAlbum))
+	}
+	ratings, _ := vfs.ReadFile(fs, "/ym/ratings.tsv")
+	sum := map[string]float64{}
+	count := map[string]int64{}
+	sc := bufio.NewScanner(strings.NewReader(string(ratings)))
+	for sc.Scan() {
+		f := strings.Split(sc.Text(), "\t")
+		r, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := songAlbum[f[1]]
+		sum[a] += r
+		count[a]++
+	}
+	best, bestAvg := "", -1.0
+	for a, s := range sum {
+		if avg := s / float64(count[a]); avg > bestAvg {
+			best, bestAvg = a, avg
+		}
+	}
+	wantBest := strconv.Itoa(truth.BestAlbum)
+	if best != wantBest {
+		t.Fatalf("recomputed best album %s != truth %s", best, wantBest)
+	}
+}
+
+func TestTraceTruthConsistent(t *testing.T) {
+	fs := vfs.NewMemFS()
+	truth, _, err := Trace(fs, "/trace.csv", TraceOpts{Jobs: 20, MeanTasks: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.MaxJob == 0 || truth.MaxResub == 0 {
+		t.Fatalf("no flaky job found: %+v", truth)
+	}
+	// Recompute resubmissions: SUBMIT events per (job,task) minus one.
+	data, _ := vfs.ReadFile(fs, "/trace.csv")
+	submits := map[string]int64{}
+	var lastTS int64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		f := strings.Split(line, ",")
+		if len(f) != 5 {
+			t.Fatalf("bad event line %q", line)
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts < lastTS {
+			t.Fatal("events not sorted by timestamp")
+		}
+		lastTS = ts
+		if f[4] == "0" {
+			submits[f[1]+"#"+f[2]]++
+		}
+	}
+	resub := map[string]int64{}
+	for k, n := range submits {
+		job := strings.SplitN(k, "#", 2)[0]
+		resub[job] += n - 1
+	}
+	var maxJob string
+	var maxN int64
+	for j, n := range resub {
+		if n > maxN || (n == maxN && j < maxJob) {
+			maxJob, maxN = j, n
+		}
+	}
+	if maxN != truth.MaxResub {
+		t.Fatalf("recomputed max resubmissions %d != truth %d", maxN, truth.MaxResub)
+	}
+}
+
+func TestGeneratorsOnOsFS(t *testing.T) {
+	fs, err := vfs.NewOsFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n, err := Text(fs, "/corpus/shakespeare.txt", TextOpts{Lines: 50}); err != nil || n == 0 {
+		t.Fatalf("text on osfs: n=%d err=%v", n, err)
+	}
+	if _, n, err := Airline(fs, "/airline/ontime.csv", AirlineOpts{Rows: 50}); err != nil || n == 0 {
+		t.Fatalf("airline on osfs: n=%d err=%v", n, err)
+	}
+}
+
+func TestSortableFormat(t *testing.T) {
+	fs := vfs.NewMemFS()
+	rows, n, err := Sortable(fs, "/r.txt", SortableOpts{Rows: 100, Seed: 1})
+	if err != nil || rows != 100 || n == 0 {
+		t.Fatalf("rows=%d n=%d err=%v", rows, n, err)
+	}
+	data, _ := vfs.ReadFile(fs, "/r.txt")
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, line := range lines {
+		key, payload, ok := strings.Cut(line, "\t")
+		if !ok || len(key) != 10 || len(payload) != 64 {
+			t.Fatalf("bad record %q", line)
+		}
+	}
+}
+
+func TestGraphEveryNodeHasOutEdge(t *testing.T) {
+	fs := vfs.NewMemFS()
+	truth, _, err := Graph(fs, "/g.txt", GraphOpts{Nodes: 80, AvgEdges: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < truth.Nodes; v++ {
+		if len(truth.Out[v]) == 0 {
+			t.Fatalf("node %d is dangling", v)
+		}
+		for _, w := range truth.Out[v] {
+			if w == v {
+				t.Fatalf("node %d has a self-loop", v)
+			}
+			if w < 0 || w >= truth.Nodes {
+				t.Fatalf("edge %d->%d out of range", v, w)
+			}
+		}
+	}
+	// Rank sums to 1 at any iteration count.
+	for _, it := range []int{0, 1, 7} {
+		ranks := truth.PageRank(it, 0.85)
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Fatalf("iter %d: rank mass %f", it, sum)
+		}
+	}
+}

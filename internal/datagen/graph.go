@@ -1,0 +1,95 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// GraphOpts sizes the synthetic web-graph generator.
+type GraphOpts struct {
+	Nodes    int
+	AvgEdges int
+	Seed     int64
+}
+
+// GraphTruth carries the adjacency list and reference PageRank values
+// (computed by plain power iteration with the same update rule the
+// MapReduce job applies, so results can be compared iteration for
+// iteration).
+type GraphTruth struct {
+	Nodes int
+	Out   map[int][]int
+}
+
+// PageRank returns the reference ranks after the given number of
+// iterations with the given damping factor.
+func (g *GraphTruth) PageRank(iterations int, damping float64) map[int]float64 {
+	n := float64(g.Nodes)
+	ranks := make(map[int]float64, g.Nodes)
+	for v := 0; v < g.Nodes; v++ {
+		ranks[v] = 1.0 / n
+	}
+	for it := 0; it < iterations; it++ {
+		contrib := make(map[int]float64, g.Nodes)
+		for v := 0; v < g.Nodes; v++ {
+			outs := g.Out[v]
+			share := ranks[v] / float64(len(outs))
+			for _, w := range outs {
+				contrib[w] += share
+			}
+		}
+		next := make(map[int]float64, g.Nodes)
+		for v := 0; v < g.Nodes; v++ {
+			next[v] = (1-damping)/n + damping*contrib[v]
+		}
+		ranks = next
+	}
+	return ranks
+}
+
+// Graph writes a web graph in the PageRank job's line format
+// ("node<TAB>rank<TAB>neighbor,neighbor,...") with uniform initial ranks.
+// Every node has at least one out-edge (no dangling mass). In-degree is
+// Zipf-skewed so a clear rank ordering emerges.
+func Graph(fs vfs.FileSystem, path string, opts GraphOpts) (*GraphTruth, int64, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 100
+	}
+	if opts.AvgEdges <= 0 {
+		opts.AvgEdges = 4
+	}
+	rng := sim.NewRand(opts.Seed).Derive("graph")
+	zipf := rng.Zipf(1.2, uint64(opts.Nodes))
+	truth := &GraphTruth{Nodes: opts.Nodes, Out: map[int][]int{}}
+	for v := 0; v < opts.Nodes; v++ {
+		k := 1 + rng.Intn(2*opts.AvgEdges-1)
+		seen := map[int]bool{v: true}
+		for len(seen)-1 < k && len(seen) < opts.Nodes {
+			w := int(zipf.Uint64())
+			if !seen[w] {
+				seen[w] = true
+				truth.Out[v] = append(truth.Out[v], w)
+			}
+		}
+		sort.Ints(truth.Out[v])
+	}
+	init := 1.0 / float64(opts.Nodes)
+	n, err := writeLines(fs, path, func(w *bufio.Writer) error {
+		for v := 0; v < opts.Nodes; v++ {
+			nbrs := make([]string, len(truth.Out[v]))
+			for i, x := range truth.Out[v] {
+				nbrs[i] = fmt.Sprintf("%d", x)
+			}
+			if _, err := fmt.Fprintf(w, "%d\t%.17g\t%s\n", v, init, strings.Join(nbrs, ",")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return truth, n, err
+}

@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// MusicOpts sizes the Yahoo! Music generator.
+type MusicOpts struct {
+	Songs   int
+	Albums  int
+	Users   int
+	Ratings int
+	Seed    int64
+}
+
+// MusicTruth is the ground truth for the second assignment: the album
+// with the highest average rating.
+type MusicTruth struct {
+	SongAlbum  map[int]int
+	AlbumSum   map[int]float64
+	AlbumCount map[int]int64
+	BestAlbum  int
+	BestAvg    float64
+}
+
+// AlbumAvg returns the true mean rating of an album.
+func (t *MusicTruth) AlbumAvg(a int) float64 {
+	if t.AlbumCount[a] == 0 {
+		return 0
+	}
+	return t.AlbumSum[a] / float64(t.AlbumCount[a])
+}
+
+// Music writes songs.tsv ("SongID<TAB>AlbumID<TAB>ArtistID") — the side
+// join table — and ratings.tsv ("UserID<TAB>SongID<TAB>Rating", ratings
+// 0–100 as in the Yahoo! Music Webscope data) and returns the truth.
+func Music(fs vfs.FileSystem, dir string, opts MusicOpts) (*MusicTruth, int64, error) {
+	if opts.Songs <= 0 {
+		opts.Songs = 500
+	}
+	if opts.Albums <= 0 {
+		opts.Albums = 60
+	}
+	if opts.Users <= 0 {
+		opts.Users = 400
+	}
+	if opts.Ratings <= 0 {
+		opts.Ratings = 20000
+	}
+	rng := sim.NewRand(opts.Seed).Derive("music")
+	truth := &MusicTruth{
+		SongAlbum:  map[int]int{},
+		AlbumSum:   map[int]float64{},
+		AlbumCount: map[int]int64{},
+	}
+	// Album quality: each album has a latent mean rating.
+	quality := make([]float64, opts.Albums+1)
+	for a := 1; a <= opts.Albums; a++ {
+		quality[a] = 30 + rng.Float64()*55 // 30..85
+	}
+	for s := 1; s <= opts.Songs; s++ {
+		truth.SongAlbum[s] = 1 + rng.Intn(opts.Albums)
+	}
+	nSongs, err := writeLines(fs, vfs.Join(dir, "songs.tsv"), func(w *bufio.Writer) error {
+		for s := 1; s <= opts.Songs; s++ {
+			artist := 1 + truth.SongAlbum[s]%97
+			if _, err := fmt.Fprintf(w, "%d\t%d\t%d\n", s, truth.SongAlbum[s], artist); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nSongs, err
+	}
+	songZipf := rng.Zipf(1.1, uint64(opts.Songs))
+	nRatings, err := writeLines(fs, vfs.Join(dir, "ratings.tsv"), func(w *bufio.Writer) error {
+		for i := 0; i < opts.Ratings; i++ {
+			u := 1 + rng.Intn(opts.Users)
+			s := int(songZipf.Uint64()) + 1
+			album := truth.SongAlbum[s]
+			r := int(rng.Normal(quality[album], 15))
+			if r < 0 {
+				r = 0
+			}
+			if r > 100 {
+				r = 100
+			}
+			if _, err := fmt.Fprintf(w, "%d\t%d\t%d\n", u, s, r); err != nil {
+				return err
+			}
+			truth.AlbumSum[album] += float64(r)
+			truth.AlbumCount[album]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nSongs + nRatings, err
+	}
+	for a := 1; a <= opts.Albums; a++ {
+		if truth.AlbumCount[a] == 0 {
+			continue
+		}
+		avg := truth.AlbumAvg(a)
+		if avg > truth.BestAvg {
+			truth.BestAlbum, truth.BestAvg = a, avg
+		}
+	}
+	return truth, nSongs + nRatings, nil
+}

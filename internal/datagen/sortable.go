@@ -1,0 +1,35 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// SortableOpts sizes the TeraSort-style record generator.
+type SortableOpts struct {
+	Rows int
+	Seed int64
+}
+
+// Sortable writes TeraGen-style records ("10-hex-char-key<TAB>payload"),
+// uniformly random keys with duplicates possible, and returns the row
+// count written.
+func Sortable(fs vfs.FileSystem, path string, opts SortableOpts) (int, int64, error) {
+	if opts.Rows <= 0 {
+		opts.Rows = 10000
+	}
+	rng := sim.NewRand(opts.Seed).Derive("sortable")
+	n, err := writeLines(fs, path, func(w *bufio.Writer) error {
+		for i := 0; i < opts.Rows; i++ {
+			if _, err := fmt.Fprintf(w, "%010x\t%032x%032x\n",
+				rng.Int63n(1<<40), rng.Uint64(), rng.Uint64()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return opts.Rows, n, err
+}

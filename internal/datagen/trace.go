@@ -1,0 +1,131 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Google cluster trace event types (subset of the 2011 trace schema).
+const (
+	EvSubmit   = 0
+	EvSchedule = 1
+	EvEvict    = 2
+	EvFail     = 3
+	EvFinish   = 4
+	EvKill     = 5
+)
+
+// TraceOpts sizes the Google cluster trace generator.
+type TraceOpts struct {
+	Jobs      int
+	MeanTasks int
+	Seed      int64
+	// FlakyJobBias boosts one job's failure probability so "the job with
+	// the most task resubmissions" has an unambiguous answer.
+	FlakyJobBias float64
+}
+
+// TraceTruth is the ground truth for the Fall 2012 second assignment:
+// the job with the largest number of task resubmissions. A resubmission
+// is a SUBMIT event for a (job, task) pair beyond its first.
+type TraceTruth struct {
+	Events        int64
+	Resubmissions map[int64]int64
+	MaxJob        int64
+	MaxResub      int64
+}
+
+// Trace writes task_events.csv lines of the form
+// "timestamp,jobID,taskIndex,machineID,eventType" and returns the truth.
+func Trace(fs vfs.FileSystem, path string, opts TraceOpts) (*TraceTruth, int64, error) {
+	if opts.Jobs <= 0 {
+		opts.Jobs = 50
+	}
+	if opts.MeanTasks <= 0 {
+		opts.MeanTasks = 20
+	}
+	if opts.FlakyJobBias <= 0 {
+		opts.FlakyJobBias = 6
+	}
+	rng := sim.NewRand(opts.Seed).Derive("trace")
+	truth := &TraceTruth{Resubmissions: map[int64]int64{}}
+
+	type event struct {
+		ts   int64
+		job  int64
+		task int
+		mach int
+		typ  int
+	}
+	var events []event
+	flaky := rng.Intn(opts.Jobs) // the deliberately crash-looping job
+	for j := 0; j < opts.Jobs; j++ {
+		jobID := int64(6200000000 + j*1000 + rng.Intn(999))
+		tasks := 1 + rng.Intn(2*opts.MeanTasks)
+		failP := 0.05 + rng.Float64()*0.1
+		if j == flaky {
+			failP *= opts.FlakyJobBias
+			if failP > 0.9 {
+				failP = 0.9
+			}
+		}
+		base := int64(rng.Intn(1_000_000)) * 1000
+		for t := 0; t < tasks; t++ {
+			ts := base + int64(t)*17
+			attempts := 0
+			for {
+				mach := 1 + rng.Intn(5000)
+				events = append(events, event{ts, jobID, t, mach, EvSubmit})
+				if attempts > 0 {
+					truth.Resubmissions[jobID]++
+				}
+				ts += int64(1 + rng.Intn(500))
+				events = append(events, event{ts, jobID, t, mach, EvSchedule})
+				ts += int64(10 + rng.Intn(100000))
+				attempts++
+				if attempts < 12 && rng.Bernoulli(failP) {
+					typ := EvFail
+					if rng.Bernoulli(0.3) {
+						typ = EvEvict
+					}
+					events = append(events, event{ts, jobID, t, mach, typ})
+					ts += int64(1 + rng.Intn(1000))
+					continue // resubmit
+				}
+				events = append(events, event{ts, jobID, t, mach, EvFinish})
+				break
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		if events[i].job != events[j].job {
+			return events[i].job < events[j].job
+		}
+		return events[i].task < events[j].task
+	})
+	n, err := writeLines(fs, path, func(w *bufio.Writer) error {
+		for _, e := range events {
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d\n", e.ts, e.job, e.task, e.mach, e.typ); err != nil {
+				return err
+			}
+			truth.Events++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, n, err
+	}
+	for job, r := range truth.Resubmissions {
+		if r > truth.MaxResub || (r == truth.MaxResub && job < truth.MaxJob) {
+			truth.MaxJob, truth.MaxResub = job, r
+		}
+	}
+	return truth, n, nil
+}

@@ -1,0 +1,91 @@
+package hdfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/vfs"
+)
+
+// TestChaosKillRestartInvariants subjects a cluster to random DataNode
+// kills and restarts and checks fsck invariants at every step; with at
+// most replication-1 concurrent failures, data must always be readable,
+// and after everything restarts and the monitor settles, the filesystem
+// must return to full health.
+func TestChaosKillRestartInvariants(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			const nodes = 6
+			d := newDFS(t, nodes, 2, hdfs.Config{
+				BlockSize:           2 << 10,
+				Replication:         3,
+				HeartbeatInterval:   time.Second,
+				HeartbeatExpiry:     5 * time.Second,
+				ReplMonitorInterval: 2 * time.Second,
+			})
+			c := d.Client(hdfs.GatewayNode)
+			var files []string
+			rng := rand.New(rand.NewSource(int64(7000 + trial)))
+			for i := 0; i < 8; i++ {
+				p := fmt.Sprintf("/data/f%02d", i)
+				data := make([]byte, 1+rng.Intn(8<<10))
+				rng.Read(data)
+				if err := vfs.WriteFile(c, p, data); err != nil {
+					t.Fatal(err)
+				}
+				files = append(files, p)
+			}
+
+			down := map[int]bool{}
+			for step := 0; step < 25; step++ {
+				switch rng.Intn(3) {
+				case 0: // kill one node, but never exceed 2 concurrently down
+					if len(down) < 2 {
+						id := rng.Intn(nodes)
+						if !down[id] {
+							d.DataNode(cluster.NodeID(id)).Kill()
+							down[id] = true
+						}
+					}
+				case 1: // restart one downed node
+					for id := range down {
+						d.DataNode(cluster.NodeID(id)).Start()
+						delete(down, id)
+						break
+					}
+				case 2:
+					d.Engine.Advance(time.Duration(1+rng.Intn(20)) * time.Second)
+				}
+				// Invariant: with ≤2 of 3 replicas lost, every file reads.
+				f := files[rng.Intn(len(files))]
+				if _, err := vfs.ReadFile(c, f); err != nil {
+					t.Fatalf("step %d: %s unreadable with %d nodes down: %v", step, f, len(down), err)
+				}
+				rep, err := d.Fsck()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.MissingBlocks > 0 {
+					t.Fatalf("step %d: missing blocks with only %d nodes down:\n%s", step, len(down), rep)
+				}
+			}
+			// Everything back up; the monitor heals all damage.
+			for id := range down {
+				d.DataNode(cluster.NodeID(id)).Start()
+			}
+			d.Engine.Advance(2 * time.Minute)
+			rep, err := d.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Healthy() || rep.UnderReplicated != 0 {
+				t.Fatalf("cluster did not heal:\n%s", rep)
+			}
+		})
+	}
+}

@@ -1,0 +1,333 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// GatewayNode is the client location for programs running off-cluster
+// (e.g. a login node staging data): every transfer crosses the core.
+const GatewayNode cluster.NodeID = -1
+
+// Meter accumulates the modelled cost and locality of a client's I/O.
+// The MapReduce counters for HDFS bytes read local/rack/remote come
+// straight from here.
+type Meter struct {
+	BytesReadLocal  int64
+	BytesReadRack   int64
+	BytesReadRemote int64
+	BytesWritten    int64
+	ReadTime        time.Duration
+	WriteTime       time.Duration
+}
+
+// BytesRead returns total bytes read at any distance.
+func (m Meter) BytesRead() int64 {
+	return m.BytesReadLocal + m.BytesReadRack + m.BytesReadRemote
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { *m = Meter{} }
+
+// Client is an HDFS client bound to a location in the topology. It
+// implements vfs.FileSystem, which is what lets a MapReduce jar written
+// against the standalone runner rerun on HDFS unchanged.
+type Client struct {
+	nn   *NameNode
+	eng  *sim.Engine
+	topo *cluster.Topology
+	cost cluster.CostModel
+	from cluster.NodeID
+
+	// Meter records modelled I/O cost and locality for this client.
+	Meter Meter
+	// AutoAdvance, when set, advances the sim clock by each operation's
+	// modelled cost — right for interactive flows (shell sessions, data
+	// staging); the MapReduce runtime leaves it off and schedules task
+	// durations itself.
+	AutoAdvance bool
+}
+
+var _ vfs.FileSystem = (*Client)(nil)
+
+// Location returns the node the client runs on (GatewayNode if off-cluster).
+func (c *Client) Location() cluster.NodeID { return c.from }
+
+// NameNode exposes the cluster's NameNode (for fsck, locations, admin).
+func (c *Client) NameNode() *NameNode { return c.nn }
+
+func (c *Client) charge(read bool, d time.Duration) {
+	if read {
+		c.Meter.ReadTime += d
+	} else {
+		c.Meter.WriteTime += d
+	}
+	if c.AutoAdvance {
+		c.eng.Advance(d)
+	}
+}
+
+func (c *Client) distanceTo(id cluster.NodeID) int {
+	if c.from < 0 {
+		return 4
+	}
+	return c.topo.Distance(c.from, id)
+}
+
+// --- writes ---
+
+// Create opens a new file for writing with the default replication.
+func (c *Client) Create(path string) (io.WriteCloser, error) {
+	return c.CreateRepl(path, 0)
+}
+
+// CreateRepl opens a new file with an explicit replication factor
+// (0 = cluster default).
+func (c *Client) CreateRepl(path string, repl int) (io.WriteCloser, error) {
+	f, err := c.nn.createFileEntry(path, repl)
+	if err != nil {
+		return nil, err
+	}
+	return &hdfsWriter{c: c, f: f, path: vfs.Clean(path)}, nil
+}
+
+// hdfsWriter buffers file contents and writes the block pipeline on Close.
+// (Real HDFS streams per-block; buffering whole files is fine at teaching
+// scale and keeps the pipeline logic in one place.)
+type hdfsWriter struct {
+	c      *Client
+	f      *inode
+	path   string
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (w *hdfsWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return w.buf.Write(p)
+}
+
+func (w *hdfsWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	data := w.buf.Bytes()
+	bs := w.c.nn.cfg.BlockSize
+	for off := int64(0); off < int64(len(data)); off += bs {
+		end := off + bs
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		if err := w.c.writeBlock(w.f, data[off:end]); err != nil {
+			// Clean up the partial file so retries see a consistent tree.
+			_ = w.c.nn.Delete(w.path, false)
+			return &vfs.PathError{Op: "write", Path: w.path, Err: err}
+		}
+	}
+	w.c.nn.journalFileComplete(w.path, w.f)
+	return nil
+}
+
+// writeBlock runs one replicated pipeline write: client → DN1 → DN2 → DN3.
+// The modelled cost is the pipeline bottleneck (slowest hop or disk),
+// because hops stream concurrently.
+func (c *Client) writeBlock(f *inode, data []byte) error {
+	id, targets, err := c.nn.allocateBlock(f, c.from)
+	if err != nil {
+		return err
+	}
+	var written []cluster.NodeID
+	var bottleneck time.Duration
+	prev := c.from
+	for _, t := range targets {
+		dn := c.nn.datanodes[t]
+		if dn == nil {
+			continue
+		}
+		diskCost, err := dn.writeBlock(id, data)
+		if err != nil {
+			// Hadoop shrinks the pipeline past a failed node.
+			continue
+		}
+		var hop time.Duration
+		if prev < 0 {
+			hop = c.cost.Transfer(4, int64(len(data)))
+		} else {
+			hop = c.cost.Transfer(c.topo.Distance(prev, t), int64(len(data)))
+		}
+		if hop > bottleneck {
+			bottleneck = hop
+		}
+		if diskCost > bottleneck {
+			bottleneck = diskCost
+		}
+		written = append(written, t)
+		prev = t
+	}
+	if len(written) == 0 {
+		c.nn.abandonBlock(id)
+		return fmt.Errorf("hdfs: pipeline write of %v failed on all %d targets", id, len(targets))
+	}
+	c.nn.commitBlock(f, id, int64(len(data)), written)
+	c.Meter.BytesWritten += int64(len(data))
+	c.charge(false, bottleneck)
+	return nil
+}
+
+// --- reads ---
+
+// readBlock fetches one block choosing the closest live, healthy replica,
+// retrying other replicas when a checksum fails (and reporting the corrupt
+// copy to the NameNode, as DFSClient does).
+func (c *Client) readBlock(id BlockID) ([]byte, error) {
+	bm, ok := c.nn.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: unknown block %v", id)
+	}
+	// Order candidate replicas by distance, then node ID for determinism.
+	var cands []cluster.NodeID
+	for nodeID := range bm.replicas {
+		if info := c.nn.dns[nodeID]; info != nil && info.alive && !bm.corrupt[nodeID] {
+			cands = append(cands, nodeID)
+		}
+	}
+	sortNodeIDs(cands)
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && c.distanceTo(cands[j]) < c.distanceTo(cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, nodeID := range cands {
+		dn := c.nn.datanodes[nodeID]
+		if dn == nil {
+			continue
+		}
+		data, diskCost, err := dn.readBlock(id)
+		if err != nil {
+			var ce *ChecksumError
+			if errors.As(err, &ce) {
+				c.nn.markCorrupt(id, nodeID)
+			}
+			continue
+		}
+		dist := c.distanceTo(nodeID)
+		total := diskCost + c.cost.Transfer(dist, int64(len(data)))
+		switch {
+		case dist == 0:
+			c.Meter.BytesReadLocal += int64(len(data))
+		case dist <= 2:
+			c.Meter.BytesReadRack += int64(len(data))
+		default:
+			c.Meter.BytesReadRemote += int64(len(data))
+		}
+		c.charge(true, total)
+		return data, nil
+	}
+	return nil, &vfs.PathError{Op: "read", Path: id.String(), Err: vfs.ErrCorrupt}
+}
+
+// Open reads a whole file (all blocks, nearest replicas).
+func (c *Client) Open(path string) (io.ReadCloser, error) {
+	f := c.nn.ns.lookup(path)
+	if f == nil {
+		return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrNotExist}
+	}
+	if f.dir {
+		return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrIsDir}
+	}
+	var buf bytes.Buffer
+	for _, bid := range f.blocks {
+		data, err := c.readBlock(bid)
+		if err != nil {
+			return nil, &vfs.PathError{Op: "open", Path: path, Err: err}
+		}
+		buf.Write(data)
+	}
+	return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+}
+
+// ReadRange reads [off, off+length) of a file, touching only the blocks
+// that overlap the range — what a map task does with its split.
+func (c *Client) ReadRange(path string, off, length int64) ([]byte, error) {
+	f := c.nn.ns.lookup(path)
+	if f == nil {
+		return nil, &vfs.PathError{Op: "read", Path: path, Err: vfs.ErrNotExist}
+	}
+	if f.dir {
+		return nil, &vfs.PathError{Op: "read", Path: path, Err: vfs.ErrIsDir}
+	}
+	end := off + length
+	if end > f.size {
+		end = f.size
+	}
+	if off < 0 || off >= end {
+		return nil, nil
+	}
+	var out []byte
+	blockStart := int64(0)
+	for _, bid := range f.blocks {
+		bm := c.nn.blocks[bid]
+		blockEnd := blockStart + bm.len
+		if blockEnd > off && blockStart < end {
+			data, err := c.readBlock(bid)
+			if err != nil {
+				return nil, &vfs.PathError{Op: "read", Path: path, Err: err}
+			}
+			lo, hi := int64(0), int64(len(data))
+			if off > blockStart {
+				lo = off - blockStart
+			}
+			if end < blockEnd {
+				hi = end - blockStart
+			}
+			out = append(out, data[lo:hi]...)
+		}
+		blockStart = blockEnd
+		if blockStart >= end {
+			break
+		}
+	}
+	return out, nil
+}
+
+// --- metadata (delegated to the NameNode) ---
+
+// Stat implements vfs.FileSystem.
+func (c *Client) Stat(path string) (vfs.FileInfo, error) { return c.nn.Stat(path) }
+
+// List implements vfs.FileSystem.
+func (c *Client) List(path string) ([]vfs.FileInfo, error) { return c.nn.List(path) }
+
+// Mkdir implements vfs.FileSystem.
+func (c *Client) Mkdir(path string) error { return c.nn.MkdirAll(path) }
+
+// Remove implements vfs.FileSystem.
+func (c *Client) Remove(path string, recursive bool) error { return c.nn.Delete(path, recursive) }
+
+// Rename implements vfs.FileSystem.
+func (c *Client) Rename(oldPath, newPath string) error { return c.nn.Rename(oldPath, newPath) }
+
+// BlockLocations exposes block layout for split computation.
+func (c *Client) BlockLocations(path string) ([]BlockLocation, error) {
+	return c.nn.BlockLocations(path)
+}
+
+// SetReplication changes a file's replication factor (hadoop fs -setrep).
+func (c *Client) SetReplication(path string, repl int) error {
+	return c.nn.SetReplication(path, repl)
+}
+
+// Fsck audits the subtree at path (hadoop fsck).
+func (c *Client) Fsck(path string) (*FsckReport, error) {
+	return c.nn.Fsck(path)
+}

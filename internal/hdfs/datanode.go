@@ -1,0 +1,214 @@
+package hdfs
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// DataNode stores block replicas on one machine's local disk and reports
+// to the NameNode via heartbeats and block reports — the daemons the
+// students crashed with leaky jobs in the paper's first semester.
+type DataNode struct {
+	id   cluster.NodeID
+	node *cluster.Node
+	nn   *NameNode
+	eng  *sim.Engine
+	cost cluster.CostModel
+
+	blocks map[BlockID]*storedBlock
+	used   int64
+	alive  bool
+
+	// preloadedBytes models data that sits on the node's disk without a
+	// real payload in the simulation — e.g. the 171 GB Google Trace the
+	// paper pre-loaded on the dedicated cluster. It only affects the
+	// startup integrity-scan time and UsedBytes accounting.
+	preloadedBytes int64
+
+	hbTicker *sim.Ticker
+	brTicker *sim.Ticker
+
+	// FailNextWrites makes the next n block writes fail (fault injection).
+	FailNextWrites int
+}
+
+type storedBlock struct {
+	data []byte
+	sum  uint32
+}
+
+func checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// ID returns the node this DataNode runs on.
+func (dn *DataNode) ID() cluster.NodeID { return dn.id }
+
+// Hostname returns the machine hostname.
+func (dn *DataNode) Hostname() string { return dn.node.Hostname }
+
+// Alive reports whether the daemon is running.
+func (dn *DataNode) Alive() bool { return dn.alive }
+
+// UsedBytes returns the local-disk bytes consumed by replicas, including
+// any preloaded (payload-free) data.
+func (dn *DataNode) UsedBytes() int64 { return dn.used + dn.preloadedBytes }
+
+// SetPreloadedBytes declares payload-free bulk data on the node's disk
+// (see preloadedBytes). It lengthens restart integrity scans.
+func (dn *DataNode) SetPreloadedBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	dn.preloadedBytes = n
+}
+
+// NumBlocks returns the replica count held locally.
+func (dn *DataNode) NumBlocks() int { return len(dn.blocks) }
+
+// BlockIDs returns the held block IDs, sorted (for deterministic reports).
+func (dn *DataNode) BlockIDs() []BlockID {
+	ids := make([]BlockID, 0, len(dn.blocks))
+	for id := range dn.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Start registers with the NameNode and begins heartbeating. If the node
+// holds blocks from a previous life (a restart), it first runs the local
+// integrity scan the paper describes — "it typically took at least
+// fifteen minutes for all the Data Nodes to check for data integrity and
+// report back to the Name Node" — whose duration scales with stored bytes.
+func (dn *DataNode) Start() {
+	if dn.alive {
+		return
+	}
+	dn.alive = true
+	scan := dn.integrityScanTime()
+	dn.eng.After(scan, func() {
+		if !dn.alive {
+			return
+		}
+		dn.nn.register(dn)
+		dn.sendBlockReport()
+		dn.hbTicker = dn.eng.Every(dn.nn.cfg.HeartbeatInterval, dn.sendHeartbeat)
+		dn.brTicker = dn.eng.Every(dn.nn.cfg.BlockReportInterval, dn.sendBlockReport)
+	})
+}
+
+// integrityScanTime models the startup verification pass over local data.
+func (dn *DataNode) integrityScanTime() time.Duration {
+	total := dn.used + dn.preloadedBytes
+	if total == 0 {
+		return dn.cost.DiskSeek
+	}
+	return dn.cost.DiskRead(total)
+}
+
+// Kill stops the daemon abruptly (a crash). Replica data stays on disk —
+// a later Start will re-verify and re-report it.
+func (dn *DataNode) Kill() {
+	if !dn.alive {
+		return
+	}
+	dn.alive = false
+	if dn.hbTicker != nil {
+		dn.hbTicker.Stop()
+	}
+	if dn.brTicker != nil {
+		dn.brTicker.Stop()
+	}
+}
+
+// WipeAndKill simulates losing the machine and its disk entirely.
+func (dn *DataNode) WipeAndKill() {
+	dn.Kill()
+	dn.blocks = map[BlockID]*storedBlock{}
+	dn.used = 0
+}
+
+func (dn *DataNode) sendHeartbeat() {
+	if dn.alive {
+		dn.nn.heartbeat(dn.id)
+	}
+}
+
+func (dn *DataNode) sendBlockReport() {
+	if !dn.alive {
+		return
+	}
+	dn.nn.blockReport(dn.id, dn.BlockIDs())
+}
+
+// writeBlock stores a replica locally. Returns the modelled disk cost.
+func (dn *DataNode) writeBlock(id BlockID, data []byte) (time.Duration, error) {
+	if !dn.alive {
+		return 0, fmt.Errorf("hdfs: datanode %s is down", dn.node.Hostname)
+	}
+	if dn.FailNextWrites > 0 {
+		dn.FailNextWrites--
+		return 0, fmt.Errorf("hdfs: injected write failure on %s", dn.node.Hostname)
+	}
+	if dn.node.DiskBytes > 0 && dn.used+int64(len(data)) > dn.node.DiskBytes {
+		return 0, fmt.Errorf("hdfs: datanode %s out of space", dn.node.Hostname)
+	}
+	if old, ok := dn.blocks[id]; ok {
+		dn.used -= int64(len(old.data))
+	}
+	cp := append([]byte(nil), data...)
+	dn.blocks[id] = &storedBlock{data: cp, sum: checksum(cp)}
+	dn.used += int64(len(cp))
+	return dn.cost.DiskWrite(int64(len(cp))), nil
+}
+
+// readBlock returns a replica's bytes after verifying its checksum, plus
+// the modelled disk cost. A corrupted replica returns ErrChecksum.
+func (dn *DataNode) readBlock(id BlockID) ([]byte, time.Duration, error) {
+	if !dn.alive {
+		return nil, 0, fmt.Errorf("hdfs: datanode %s is down", dn.node.Hostname)
+	}
+	sb, ok := dn.blocks[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("hdfs: %v not on %s", id, dn.node.Hostname)
+	}
+	cost := dn.cost.DiskRead(int64(len(sb.data)))
+	if checksum(sb.data) != sb.sum {
+		return nil, cost, &ChecksumError{Block: id, Node: dn.node.Hostname}
+	}
+	return sb.data, cost, nil
+}
+
+// deleteBlock removes a replica (invalidation from the NameNode).
+func (dn *DataNode) deleteBlock(id BlockID) {
+	if sb, ok := dn.blocks[id]; ok {
+		dn.used -= int64(len(sb.data))
+		delete(dn.blocks, id)
+	}
+}
+
+// CorruptBlock flips a byte of the stored replica without updating the
+// stored checksum, simulating silent disk corruption. Reports whether the
+// replica existed.
+func (dn *DataNode) CorruptBlock(id BlockID) bool {
+	sb, ok := dn.blocks[id]
+	if !ok || len(sb.data) == 0 {
+		return false
+	}
+	sb.data[len(sb.data)/2] ^= 0xFF
+	return true
+}
+
+// ChecksumError reports a corrupt replica detected at read time.
+type ChecksumError struct {
+	Block BlockID
+	Node  string
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("hdfs: checksum mismatch for %v on %s", e.Block, e.Node)
+}

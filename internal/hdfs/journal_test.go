@@ -1,0 +1,162 @@
+package hdfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func newPersistentDFS(t *testing.T, nodes int) (*hdfs.MiniDFS, *vfs.MemFS) {
+	t.Helper()
+	meta := vfs.NewMemFS()
+	eng := sim.NewEngine()
+	topo := cluster.NewTopology(cluster.PaperNodeConfig(nodes, 1))
+	d, err := hdfs.NewMiniDFS(eng, topo, hdfs.Options{
+		Seed:       3,
+		Config:     hdfs.Config{BlockSize: 1 << 10, Replication: 2, HeartbeatInterval: time.Second},
+		MetadataFS: meta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, meta
+}
+
+func TestEditLogReplayRebuildsNamespace(t *testing.T) {
+	d, _ := newPersistentDFS(t, 4)
+	c := d.Client(0)
+	if err := vfs.WriteFile(c, "/a/keep.txt", []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c, "/a/drop.txt", []byte("drop me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("/a/drop.txt", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/a/keep.txt", "/a/kept.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReplication("/a/kept.txt", 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.NN.EditLogRecords == 0 {
+		t.Fatal("nothing journaled")
+	}
+	before := treeString(t, c)
+
+	// Cold start: namespace rebuilt purely from the edit log; replica
+	// locations return via block reports.
+	if err := d.NN.RestartFromDisk(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.NN.InSafeMode() {
+		t.Fatal("cold start should re-enter safe mode")
+	}
+	d.Engine.Advance(5 * time.Second)
+	if d.NN.InSafeMode() {
+		t.Fatal("safe mode never exited after block reports")
+	}
+	if after := treeString(t, c); after != before {
+		t.Fatalf("namespace diverged after replay:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	data, err := vfs.ReadFile(c, "/a/kept.txt")
+	if err != nil || string(data) != "keep me" {
+		t.Fatalf("data after recovery: %q err=%v", data, err)
+	}
+	fi, _ := c.Stat("/a/kept.txt")
+	if fi.Replication != 4 {
+		t.Fatalf("setrep lost in replay: %d", fi.Replication)
+	}
+}
+
+func TestCheckpointTruncatesEditLog(t *testing.T) {
+	d, meta := newPersistentDFS(t, 3)
+	c := d.Client(0)
+	for i := 0; i < 5; i++ {
+		if err := vfs.WriteFile(c, fmt.Sprintf("/f%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !vfs.Exists(meta, "/dfs/name/current/edits") {
+		t.Fatal("edit log missing")
+	}
+	entries, err := d.NN.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 5 {
+		t.Fatalf("checkpoint wrote %d entries, want 5", entries)
+	}
+	if vfs.Exists(meta, "/dfs/name/current/edits") {
+		t.Fatal("edit log not truncated by checkpoint")
+	}
+	if !vfs.Exists(meta, "/dfs/name/current/fsimage") {
+		t.Fatal("fsimage missing")
+	}
+	// Post-checkpoint edits land in a fresh log; recovery uses both.
+	if err := vfs.WriteFile(c, "/later", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	before := treeString(t, c)
+	if err := d.NN.RestartFromDisk(); err != nil {
+		t.Fatal(err)
+	}
+	d.Engine.Advance(5 * time.Second)
+	if after := treeString(t, c); after != before {
+		t.Fatalf("fsimage+edits recovery diverged:\n%s\nvs\n%s", before, after)
+	}
+}
+
+func TestRecoveryPropertyRandomOps(t *testing.T) {
+	// Property: after any random mutation sequence, RestartFromDisk
+	// reproduces the namespace exactly (same paths, sizes, replication).
+	for trial := 0; trial < 3; trial++ {
+		d, _ := newPersistentDFS(t, 4)
+		c := d.Client(0)
+		rng := rand.New(rand.NewSource(int64(400 + trial)))
+		paths := []string{"/x", "/y", "/d/a", "/d/b", "/d/e/c"}
+		for op := 0; op < 120; op++ {
+			p := paths[rng.Intn(len(paths))]
+			switch rng.Intn(5) {
+			case 0, 1:
+				_ = vfs.WriteFile(c, p, make([]byte, rng.Intn(4<<10)))
+			case 2:
+				_ = c.Remove(p, true)
+			case 3:
+				_ = c.Rename(p, paths[rng.Intn(len(paths))])
+			case 4:
+				_ = c.SetReplication(p, 1+rng.Intn(3))
+			}
+			if op == 60 {
+				if _, err := d.NN.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		before := treeString(t, c)
+		if err := d.NN.RestartFromDisk(); err != nil {
+			t.Fatal(err)
+		}
+		d.Engine.Advance(5 * time.Second)
+		if after := treeString(t, c); after != before {
+			t.Fatalf("trial %d: recovery diverged\nbefore:\n%s\nafter:\n%s", trial, before, after)
+		}
+	}
+}
+
+func TestCheckpointWithoutMetaFSFails(t *testing.T) {
+	d := newDFS(t, 2, 1, hdfs.Config{})
+	if _, err := d.NN.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without metadata filesystem succeeded")
+	}
+	if err := d.NN.RestartFromDisk(); err == nil {
+		t.Fatal("recovery without metadata filesystem succeeded")
+	}
+}

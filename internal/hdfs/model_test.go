@@ -1,0 +1,117 @@
+package hdfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/vfs"
+)
+
+// TestModelBasedAgainstMemFS drives the HDFS client and a plain MemFS
+// with the same random operation sequence and checks that the observable
+// filesystem state (tree shape, file contents, error/success outcomes)
+// never diverges — HDFS must behave exactly like a filesystem, no matter
+// how the operations interleave with block machinery underneath.
+func TestModelBasedAgainstMemFS(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			d := newDFS(t, 4, 2, hdfsSmallBlocks())
+			sut := d.Client(0)
+			model := vfs.NewMemFS()
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+			paths := []string{"/a", "/b", "/dir/x", "/dir/y", "/dir/sub/z", "/c"}
+			dirs := []string{"/dir", "/dir/sub", "/other"}
+
+			for op := 0; op < 300; op++ {
+				switch rng.Intn(6) {
+				case 0: // write a new file
+					p := paths[rng.Intn(len(paths))]
+					data := make([]byte, rng.Intn(5000))
+					rng.Read(data)
+					errS := vfs.WriteFile(sut, p, data)
+					errM := vfs.WriteFile(model, p, data)
+					checkSameOutcome(t, op, "write "+p, errS, errM)
+				case 1: // mkdir
+					p := dirs[rng.Intn(len(dirs))]
+					checkSameOutcome(t, op, "mkdir "+p, sut.Mkdir(p), model.Mkdir(p))
+				case 2: // remove (sometimes recursive)
+					p := append(paths, dirs...)[rng.Intn(len(paths)+len(dirs))]
+					rec := rng.Intn(2) == 0
+					checkSameOutcome(t, op, fmt.Sprintf("rm %s rec=%v", p, rec),
+						sut.Remove(p, rec), model.Remove(p, rec))
+				case 3: // rename
+					a := paths[rng.Intn(len(paths))]
+					b := paths[rng.Intn(len(paths))]
+					checkSameOutcome(t, op, "mv "+a+" "+b, sut.Rename(a, b), model.Rename(a, b))
+				case 4: // read & compare contents
+					p := paths[rng.Intn(len(paths))]
+					dataS, errS := vfs.ReadFile(sut, p)
+					dataM, errM := vfs.ReadFile(model, p)
+					checkSameOutcome(t, op, "read "+p, errS, errM)
+					if errS == nil && string(dataS) != string(dataM) {
+						t.Fatalf("op %d: contents of %s diverge (%d vs %d bytes)",
+							op, p, len(dataS), len(dataM))
+					}
+				case 5: // full tree comparison
+					if !sameTree(t, sut, model) {
+						t.Fatalf("op %d: trees diverge", op)
+					}
+				}
+			}
+			if !sameTree(t, sut, model) {
+				t.Fatal("final trees diverge")
+			}
+		})
+	}
+}
+
+func hdfsSmallBlocks() (c hdfs.Config) {
+	c.BlockSize = 512
+	c.Replication = 2
+	return c
+}
+
+func checkSameOutcome(t *testing.T, op int, what string, errS, errM error) {
+	t.Helper()
+	if (errS == nil) != (errM == nil) {
+		t.Fatalf("op %d %s: hdfs err=%v, model err=%v", op, what, errS, errM)
+	}
+}
+
+// sameTree compares the full file listing (paths, sizes, dir flags).
+func sameTree(t *testing.T, a, b vfs.FileSystem) bool {
+	t.Helper()
+	return treeString(t, a) == treeString(t, b)
+}
+
+func treeString(t *testing.T, fs vfs.FileSystem) string {
+	t.Helper()
+	var entries []string
+	var walk func(p string)
+	walk = func(p string) {
+		infos, err := fs.List(p)
+		if err != nil {
+			return
+		}
+		for _, fi := range infos {
+			if fi.IsDir {
+				entries = append(entries, fi.Path+"/")
+				walk(fi.Path)
+			} else {
+				entries = append(entries, fmt.Sprintf("%s:%d", fi.Path, fi.Size))
+			}
+		}
+	}
+	walk("/")
+	sort.Strings(entries)
+	out := ""
+	for _, e := range entries {
+		out += e + "\n"
+	}
+	return out
+}

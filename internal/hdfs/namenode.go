@@ -1,0 +1,687 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// ErrSafeMode is returned for mutating operations while the NameNode is in
+// safe mode (during startup, until enough block reports arrive).
+var ErrSafeMode = errors.New("hdfs: name node is in safe mode")
+
+// Config holds the cluster-wide HDFS settings. Zero values take defaults
+// scaled for teaching-size data (Hadoop's 64 MB blocks would leave toy
+// files in a single block, hiding everything interesting).
+type Config struct {
+	BlockSize           int64
+	Replication         int
+	HeartbeatInterval   time.Duration
+	HeartbeatExpiry     time.Duration
+	BlockReportInterval time.Duration
+	ReplMonitorInterval time.Duration
+	SafeModeThreshold   float64
+	// RandomPlacement replaces the default writer-local/cross-rack policy
+	// with uniform random target selection — the ablation showing what
+	// the placement policy buys (map locality, rack fault tolerance).
+	RandomPlacement bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 2 << 20
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 3 * time.Second
+	}
+	if c.HeartbeatExpiry <= 0 {
+		c.HeartbeatExpiry = 30 * time.Second
+	}
+	if c.BlockReportInterval <= 0 {
+		c.BlockReportInterval = 10 * time.Minute
+	}
+	if c.ReplMonitorInterval <= 0 {
+		c.ReplMonitorInterval = 3 * time.Second
+	}
+	if c.SafeModeThreshold <= 0 {
+		c.SafeModeThreshold = 0.999
+	}
+	return c
+}
+
+type blockMeta struct {
+	id       BlockID
+	len      int64
+	expected int
+	replicas map[cluster.NodeID]bool
+	corrupt  map[cluster.NodeID]bool
+}
+
+type dnInfo struct {
+	id            cluster.NodeID
+	lastHeartbeat sim.Time
+	alive         bool
+}
+
+// NameNode owns the namespace tree and the block map, chooses replica
+// placements, monitors DataNode liveness, and drives re-replication. It
+// corresponds to the single "NameNode" box of the paper's Figure 2.
+type NameNode struct {
+	eng  *sim.Engine
+	topo *cluster.Topology
+	cost cluster.CostModel
+	cfg  Config
+	rng  *sim.Rand
+
+	ns        *namespace
+	blocks    map[BlockID]*blockMeta
+	nextBlock BlockID
+
+	dns       map[cluster.NodeID]*dnInfo
+	datanodes map[cluster.NodeID]*DataNode // direct handles (the simulation's RPC)
+
+	safeMode        bool
+	pendingRepl     map[BlockID]bool
+	decommissioning map[cluster.NodeID]bool
+
+	// metaFS, when set, persists the namespace (fsimage + edit log);
+	// see journal.go.
+	metaFS vfs.FileSystem
+	// EditLogRecords and Checkpoints count persistence activity.
+	EditLogRecords int64
+	Checkpoints    int
+
+	// Stats the experiments read.
+	ReplicationsScheduled int64
+	CorruptionsDetected   int64
+	SafeModeExitedAt      sim.Time
+}
+
+// newNameNode constructs an unstarted NameNode.
+func newNameNode(eng *sim.Engine, topo *cluster.Topology, cost cluster.CostModel, cfg Config, rng *sim.Rand) *NameNode {
+	return &NameNode{
+		eng:             eng,
+		topo:            topo,
+		cost:            cost,
+		cfg:             cfg,
+		rng:             rng,
+		ns:              newNamespace(),
+		blocks:          map[BlockID]*blockMeta{},
+		dns:             map[cluster.NodeID]*dnInfo{},
+		datanodes:       map[cluster.NodeID]*DataNode{},
+		safeMode:        true,
+		pendingRepl:     map[BlockID]bool{},
+		decommissioning: map[cluster.NodeID]bool{},
+	}
+}
+
+// start arms the liveness and replication monitors and the safe-mode exit
+// check for an empty namespace.
+func (nn *NameNode) start() {
+	nn.eng.Every(nn.cfg.HeartbeatInterval, nn.checkLiveness)
+	nn.eng.Every(nn.cfg.ReplMonitorInterval, nn.replicationMonitor)
+	nn.maybeLeaveSafeMode()
+}
+
+// InSafeMode reports whether mutations are currently refused.
+func (nn *NameNode) InSafeMode() bool { return nn.safeMode }
+
+// Config returns the effective configuration.
+func (nn *NameNode) Config() Config { return nn.cfg }
+
+// Restart models a NameNode restart: registrations and replica maps are
+// forgotten (they live only in memory); the namespace survives (fsimage).
+// The cluster re-enters safe mode until block reports rebuild the map.
+func (nn *NameNode) Restart() {
+	nn.safeMode = true
+	nn.dns = map[cluster.NodeID]*dnInfo{}
+	nn.pendingRepl = map[BlockID]bool{}
+	for _, bm := range nn.blocks {
+		bm.replicas = map[cluster.NodeID]bool{}
+		bm.corrupt = map[cluster.NodeID]bool{}
+	}
+}
+
+// --- DataNode protocol ---
+
+func (nn *NameNode) register(dn *DataNode) {
+	nn.datanodes[dn.id] = dn
+	nn.dns[dn.id] = &dnInfo{id: dn.id, lastHeartbeat: nn.eng.Now(), alive: true}
+}
+
+func (nn *NameNode) heartbeat(id cluster.NodeID) {
+	info, ok := nn.dns[id]
+	if !ok {
+		// Unknown node (e.g. after a NameNode restart): ask it to
+		// re-register and re-report.
+		if dn, have := nn.datanodes[id]; have && dn.alive {
+			nn.register(dn)
+			dn.sendBlockReport()
+		}
+		return
+	}
+	info.lastHeartbeat = nn.eng.Now()
+	if !info.alive {
+		info.alive = true
+	}
+}
+
+func (nn *NameNode) blockReport(id cluster.NodeID, held []BlockID) {
+	info, ok := nn.dns[id]
+	if !ok {
+		return
+	}
+	info.lastHeartbeat = nn.eng.Now()
+	heldSet := make(map[BlockID]bool, len(held))
+	for _, b := range held {
+		heldSet[b] = true
+	}
+	for bid, bm := range nn.blocks {
+		if heldSet[bid] {
+			bm.replicas[id] = true
+		} else {
+			delete(bm.replicas, id)
+		}
+	}
+	// Blocks the DataNode holds that the namespace no longer references
+	// are garbage from deleted files; tell it to drop them.
+	if dn := nn.datanodes[id]; dn != nil {
+		for _, bid := range held {
+			if _, known := nn.blocks[bid]; !known {
+				dn.deleteBlock(bid)
+			}
+		}
+	}
+	nn.maybeLeaveSafeMode()
+}
+
+func (nn *NameNode) checkLiveness() {
+	now := nn.eng.Now()
+	for _, info := range nn.dns {
+		if info.alive && now-info.lastHeartbeat > nn.cfg.HeartbeatExpiry {
+			info.alive = false
+			// Replicas on a dead node no longer count; the replication
+			// monitor will notice the deficit on its next pass.
+			for _, bm := range nn.blocks {
+				delete(bm.replicas, info.id)
+			}
+		}
+	}
+}
+
+func (nn *NameNode) maybeLeaveSafeMode() {
+	if !nn.safeMode {
+		return
+	}
+	total := len(nn.blocks)
+	if total == 0 {
+		if len(nn.dns) > 0 || len(nn.datanodes) == 0 {
+			nn.exitSafeMode()
+		}
+		return
+	}
+	reported := 0
+	for _, bm := range nn.blocks {
+		if nn.liveReplicas(bm) > 0 {
+			reported++
+		}
+	}
+	if float64(reported) >= nn.cfg.SafeModeThreshold*float64(total) {
+		nn.exitSafeMode()
+	}
+}
+
+func (nn *NameNode) exitSafeMode() {
+	nn.safeMode = false
+	nn.SafeModeExitedAt = nn.eng.Now()
+}
+
+// liveReplicas counts confirmed replicas on live, non-draining nodes,
+// excluding corrupt copies. Replicas on decommissioning nodes do not
+// count toward the target, which is what drives the drain.
+func (nn *NameNode) liveReplicas(bm *blockMeta) int {
+	n := 0
+	for id := range bm.replicas {
+		if info := nn.dns[id]; info != nil && info.alive && !bm.corrupt[id] && !nn.decommissioning[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveDataNodes returns the IDs of registered, live DataNodes, sorted.
+func (nn *NameNode) LiveDataNodes() []cluster.NodeID {
+	var out []cluster.NodeID
+	for id, info := range nn.dns {
+		if info.alive {
+			out = append(out, id)
+		}
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+func sortNodeIDs(ids []cluster.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// --- placement ---
+
+// chooseTargets implements the Hadoop default placement policy: first
+// replica on the writer's node when it is a live DataNode, second replica
+// on a node in a different rack, third on a different node in the second
+// replica's rack, and any further replicas on random nodes.
+func (nn *NameNode) chooseTargets(writer cluster.NodeID, n int, exclude map[cluster.NodeID]bool) []cluster.NodeID {
+	if exclude == nil {
+		exclude = map[cluster.NodeID]bool{}
+	}
+	var targets []cluster.NodeID
+	taken := func(id cluster.NodeID) bool {
+		if exclude[id] {
+			return true
+		}
+		for _, t := range targets {
+			if t == id {
+				return true
+			}
+		}
+		return false
+	}
+	liveIDs := nn.LiveDataNodes()
+	pickWhere := func(pred func(cluster.NodeID) bool) (cluster.NodeID, bool) {
+		var cands []cluster.NodeID
+		for _, id := range liveIDs {
+			if !taken(id) && !nn.decommissioning[id] && pred(id) {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			return 0, false
+		}
+		return cands[nn.rng.Choice(len(cands))], true
+	}
+	any := func(cluster.NodeID) bool { return true }
+
+	if nn.cfg.RandomPlacement {
+		for len(targets) < n {
+			id, ok := pickWhere(any)
+			if !ok {
+				break
+			}
+			targets = append(targets, id)
+		}
+		return targets
+	}
+
+	// Replica 1: writer-local when possible.
+	if info := nn.dns[writer]; info != nil && info.alive && !taken(writer) && !nn.decommissioning[writer] {
+		targets = append(targets, writer)
+	} else if id, ok := pickWhere(any); ok {
+		targets = append(targets, id)
+	}
+	// Replica 2: different rack from replica 1.
+	if len(targets) >= 1 && len(targets) < n {
+		r0 := nn.topo.RackOf(targets[0])
+		if id, ok := pickWhere(func(id cluster.NodeID) bool { return nn.topo.RackOf(id) != r0 }); ok {
+			targets = append(targets, id)
+		} else if id, ok := pickWhere(any); ok { // single-rack cluster
+			targets = append(targets, id)
+		}
+	}
+	// Replica 3: same rack as replica 2.
+	if len(targets) >= 2 && len(targets) < n {
+		r1 := nn.topo.RackOf(targets[1])
+		if id, ok := pickWhere(func(id cluster.NodeID) bool { return nn.topo.RackOf(id) == r1 }); ok {
+			targets = append(targets, id)
+		} else if id, ok := pickWhere(any); ok {
+			targets = append(targets, id)
+		}
+	}
+	// Remaining replicas: anywhere.
+	for len(targets) < n {
+		id, ok := pickWhere(any)
+		if !ok {
+			break
+		}
+		targets = append(targets, id)
+	}
+	return targets
+}
+
+// --- namespace operations (client-facing) ---
+
+// MkdirAll creates a directory path.
+func (nn *NameNode) MkdirAll(path string) error {
+	if nn.safeMode {
+		return &vfs.PathError{Op: "mkdir", Path: path, Err: ErrSafeMode}
+	}
+	if err := nn.ns.mkdirAll(path); err != nil {
+		return err
+	}
+	nn.journal(editRecord{Op: "mkdir", Path: vfs.Clean(path)})
+	return nil
+}
+
+// createFileEntry allocates the inode for a new file.
+func (nn *NameNode) createFileEntry(path string, repl int) (*inode, error) {
+	if nn.safeMode {
+		return nil, &vfs.PathError{Op: "create", Path: path, Err: ErrSafeMode}
+	}
+	if repl <= 0 {
+		repl = nn.cfg.Replication
+	}
+	return nn.ns.createFile(path, repl)
+}
+
+// allocateBlock assigns a new block ID and its replica targets.
+func (nn *NameNode) allocateBlock(f *inode, writer cluster.NodeID) (BlockID, []cluster.NodeID, error) {
+	targets := nn.chooseTargets(writer, f.repl, nil)
+	if len(targets) == 0 {
+		return 0, nil, fmt.Errorf("hdfs: no live datanodes to place block (need %d)", f.repl)
+	}
+	nn.nextBlock++
+	id := nn.nextBlock
+	nn.blocks[id] = &blockMeta{
+		id:       id,
+		expected: f.repl,
+		replicas: map[cluster.NodeID]bool{},
+		corrupt:  map[cluster.NodeID]bool{},
+	}
+	return id, targets, nil
+}
+
+// commitBlock records the successfully written replicas of a block and
+// appends it to the file.
+func (nn *NameNode) commitBlock(f *inode, id BlockID, length int64, written []cluster.NodeID) {
+	bm := nn.blocks[id]
+	bm.len = length
+	for _, w := range written {
+		bm.replicas[w] = true
+	}
+	f.blocks = append(f.blocks, id)
+	f.size += length
+}
+
+// abandonBlock drops a block that failed to write.
+func (nn *NameNode) abandonBlock(id BlockID) { delete(nn.blocks, id) }
+
+// Delete removes a path, invalidating its blocks on all DataNodes.
+func (nn *NameNode) Delete(path string, recursive bool) error {
+	if nn.safeMode {
+		return &vfs.PathError{Op: "remove", Path: path, Err: ErrSafeMode}
+	}
+	freed, err := nn.ns.remove(path, recursive)
+	if err != nil {
+		return err
+	}
+	for _, bid := range freed {
+		if bm, ok := nn.blocks[bid]; ok {
+			for nodeID := range bm.replicas {
+				if dn := nn.datanodes[nodeID]; dn != nil && dn.alive {
+					dn.deleteBlock(bid)
+				}
+			}
+			delete(nn.blocks, bid)
+		}
+	}
+	nn.journal(editRecord{Op: "delete", Path: vfs.Clean(path)})
+	return nil
+}
+
+// Rename moves a file or directory.
+func (nn *NameNode) Rename(oldPath, newPath string) error {
+	if nn.safeMode {
+		return &vfs.PathError{Op: "rename", Path: oldPath, Err: ErrSafeMode}
+	}
+	if err := nn.ns.rename(oldPath, newPath); err != nil {
+		return err
+	}
+	nn.journal(editRecord{Op: "rename", Path: vfs.Clean(oldPath), Path2: vfs.Clean(newPath)})
+	return nil
+}
+
+// SetReplication changes a file's target replication factor; the
+// replication monitor converges the replica count.
+func (nn *NameNode) SetReplication(path string, repl int) error {
+	if nn.safeMode {
+		return &vfs.PathError{Op: "setrep", Path: path, Err: ErrSafeMode}
+	}
+	if repl < 1 {
+		return fmt.Errorf("hdfs: replication %d < 1", repl)
+	}
+	f := nn.ns.lookup(path)
+	if f == nil {
+		return &vfs.PathError{Op: "setrep", Path: path, Err: vfs.ErrNotExist}
+	}
+	if f.dir {
+		return &vfs.PathError{Op: "setrep", Path: path, Err: vfs.ErrIsDir}
+	}
+	f.repl = repl
+	for _, bid := range f.blocks {
+		if bm, ok := nn.blocks[bid]; ok {
+			bm.expected = repl
+		}
+	}
+	nn.journal(editRecord{Op: "setrep", Path: vfs.Clean(path), Repl: repl})
+	return nil
+}
+
+// Stat describes a file or directory.
+func (nn *NameNode) Stat(path string) (vfs.FileInfo, error) {
+	n := nn.ns.lookup(path)
+	if n == nil {
+		return vfs.FileInfo{}, &vfs.PathError{Op: "stat", Path: path, Err: vfs.ErrNotExist}
+	}
+	return vfs.FileInfo{
+		Path:        vfs.Clean(path),
+		Size:        n.size,
+		IsDir:       n.dir,
+		Replication: n.repl,
+		BlockSize:   nn.cfg.BlockSize,
+	}, nil
+}
+
+// List returns a directory's children.
+func (nn *NameNode) List(path string) ([]vfs.FileInfo, error) {
+	n := nn.ns.lookup(path)
+	if n == nil {
+		return nil, &vfs.PathError{Op: "list", Path: path, Err: vfs.ErrNotExist}
+	}
+	if !n.dir {
+		return nil, &vfs.PathError{Op: "list", Path: path, Err: vfs.ErrNotDir}
+	}
+	p := vfs.Clean(path)
+	var out []vfs.FileInfo
+	for _, c := range n.list() {
+		out = append(out, vfs.FileInfo{
+			Path:        vfs.Join(p, c.name),
+			Size:        c.size,
+			IsDir:       c.dir,
+			Replication: c.repl,
+			BlockSize:   nn.cfg.BlockSize,
+		})
+	}
+	return out, nil
+}
+
+// BlockLocation describes one block of a file and where its live replicas
+// sit — what the JobTracker asks for when scheduling map tasks.
+type BlockLocation struct {
+	Block  BlockID
+	Offset int64
+	Length int64
+	Nodes  []cluster.NodeID
+	Hosts  []string
+}
+
+// BlockLocations lists the block layout of a file.
+func (nn *NameNode) BlockLocations(path string) ([]BlockLocation, error) {
+	f := nn.ns.lookup(path)
+	if f == nil {
+		return nil, &vfs.PathError{Op: "locations", Path: path, Err: vfs.ErrNotExist}
+	}
+	if f.dir {
+		return nil, &vfs.PathError{Op: "locations", Path: path, Err: vfs.ErrIsDir}
+	}
+	var out []BlockLocation
+	off := int64(0)
+	for _, bid := range f.blocks {
+		bm := nn.blocks[bid]
+		loc := BlockLocation{Block: bid, Offset: off, Length: bm.len}
+		for id := range bm.replicas {
+			if info := nn.dns[id]; info != nil && info.alive && !bm.corrupt[id] {
+				loc.Nodes = append(loc.Nodes, id)
+			}
+		}
+		sortNodeIDs(loc.Nodes)
+		for _, id := range loc.Nodes {
+			loc.Hosts = append(loc.Hosts, nn.topo.Node(id).Hostname)
+		}
+		out = append(out, loc)
+		off += bm.len
+	}
+	return out, nil
+}
+
+// markCorrupt records a checksum failure reported by a reader and
+// invalidates the bad replica so re-replication can restore redundancy.
+func (nn *NameNode) markCorrupt(id BlockID, node cluster.NodeID) {
+	bm, ok := nn.blocks[id]
+	if !ok {
+		return
+	}
+	if !bm.corrupt[node] {
+		bm.corrupt[node] = true
+		nn.CorruptionsDetected++
+	}
+	delete(bm.replicas, node)
+	if dn := nn.datanodes[node]; dn != nil {
+		dn.deleteBlock(id)
+	}
+}
+
+// --- replication monitor ---
+
+func (nn *NameNode) replicationMonitor() {
+	if nn.safeMode {
+		return
+	}
+	ids := make([]BlockID, 0, len(nn.blocks))
+	for id := range nn.blocks {
+		ids = append(ids, id)
+	}
+	// Deterministic iteration order.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		bm := nn.blocks[id]
+		live := nn.liveReplicas(bm)
+		switch {
+		case live == 0:
+			// Missing: nothing to copy from; fsck will report it.
+		case live < bm.expected && !nn.pendingRepl[id]:
+			nn.scheduleReplication(bm)
+		case live > bm.expected:
+			nn.dropExcessReplica(bm)
+		}
+	}
+}
+
+func (nn *NameNode) scheduleReplication(bm *blockMeta) {
+	// Source: any live, non-corrupt replica holder.
+	var src cluster.NodeID = -1
+	for id := range bm.replicas {
+		if info := nn.dns[id]; info != nil && info.alive && !bm.corrupt[id] {
+			src = id
+			break
+		}
+	}
+	if src < 0 {
+		return
+	}
+	exclude := map[cluster.NodeID]bool{}
+	for id := range bm.replicas {
+		exclude[id] = true
+	}
+	for id := range bm.corrupt {
+		exclude[id] = true
+	}
+	targets := nn.chooseTargets(src, 1, exclude)
+	if len(targets) == 0 {
+		return
+	}
+	dst := targets[0]
+	srcDN, dstDN := nn.datanodes[src], nn.datanodes[dst]
+	if srcDN == nil || dstDN == nil {
+		return
+	}
+	data, readCost, err := srcDN.readBlock(bm.id)
+	if err != nil {
+		var ce *ChecksumError
+		if errors.As(err, &ce) {
+			nn.markCorrupt(bm.id, src)
+		}
+		return
+	}
+	nn.pendingRepl[bm.id] = true
+	nn.ReplicationsScheduled++
+	xfer := nn.cost.Transfer(nn.topo.Distance(src, dst), int64(len(data)))
+	blockID := bm.id
+	nn.eng.After(readCost+xfer, func() {
+		delete(nn.pendingRepl, blockID)
+		meta, ok := nn.blocks[blockID]
+		if !ok {
+			return // file deleted meanwhile
+		}
+		if !dstDN.alive {
+			return
+		}
+		if _, err := dstDN.writeBlock(blockID, data); err != nil {
+			return
+		}
+		meta.replicas[dst] = true
+	})
+}
+
+func (nn *NameNode) dropExcessReplica(bm *blockMeta) {
+	// Drop from the most-used live holder, deterministically.
+	var victim cluster.NodeID = -1
+	var victimUsed int64 = -1
+	holders := make([]cluster.NodeID, 0, len(bm.replicas))
+	for id := range bm.replicas {
+		holders = append(holders, id)
+	}
+	sortNodeIDs(holders)
+	for _, id := range holders {
+		info := nn.dns[id]
+		dn := nn.datanodes[id]
+		if info == nil || !info.alive || dn == nil {
+			continue
+		}
+		if dn.used > victimUsed {
+			victim, victimUsed = id, dn.used
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	delete(bm.replicas, victim)
+	if dn := nn.datanodes[victim]; dn != nil {
+		dn.deleteBlock(bm.id)
+	}
+}

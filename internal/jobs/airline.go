@@ -1,0 +1,196 @@
+package jobs
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/mapreduce"
+)
+
+// parseAirlineRow extracts (carrier, arrival delay) from one CSV row of
+// the on-time database; ok is false for the header and cancelled flights.
+func parseAirlineRow(line string) (carrier string, delay float64, ok bool) {
+	if strings.HasPrefix(line, "Year,") || line == "" {
+		return "", 0, false
+	}
+	f := strings.Split(line, ",")
+	if len(f) < 11 {
+		return "", 0, false
+	}
+	d, err := strconv.ParseFloat(f[10], 64)
+	if err != nil {
+		return "", 0, false // "NA" for cancelled flights
+	}
+	return f[5], d, true
+}
+
+// --- variant 1: plain ---
+
+// airlinePlainMapper emits every delay observation individually: simple,
+// correct, and maximally chatty on the network.
+type airlinePlainMapper struct{}
+
+func (airlinePlainMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	if carrier, d, ok := parseAirlineRow(line); ok {
+		return out.Emit(carrier, mapreduce.Float64(d))
+	}
+	return nil
+}
+
+// airlineAvgReducer averages raw Float64 delays.
+type airlineAvgReducer struct{}
+
+func (airlineAvgReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var sc SumCount
+	if err := values.Each(func(v mapreduce.Value) error {
+		sc.Add(SumCount{Sum: float64(v.(mapreduce.Float64)), Count: 1})
+		return nil
+	}); err != nil {
+		return err
+	}
+	return out.Emit(key, mapreduce.Float64(sc.Avg()))
+}
+
+// AirlineAvgDelayPlain builds variant 1 of the lab's three designs: a
+// standard MapReduce program whose "mappers emit the airline code and the
+// delay time as a key-value pair".
+func AirlineAvgDelayPlain(input, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "airline-avg-plain",
+		NewMapper:   func() mapreduce.Mapper { return airlinePlainMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return airlineAvgReducer{} },
+		DecodeValue: mapreduce.DecodeFloat64,
+		InputPaths:  []string{input},
+		OutputPath:  output,
+	}
+}
+
+// --- variant 2: combiner with custom value class ---
+
+// airlineSCMapper emits SumCount partials so a combiner can fold them.
+type airlineSCMapper struct{}
+
+func (airlineSCMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	if carrier, d, ok := parseAirlineRow(line); ok {
+		return out.Emit(carrier, SumCount{Sum: d, Count: 1})
+	}
+	return nil
+}
+
+// sumCountCombiner folds SumCount partials; usable both as combiner and
+// as final reducer building block.
+type sumCountCombiner struct{}
+
+func (sumCountCombiner) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var sc SumCount
+	if err := values.Each(func(v mapreduce.Value) error {
+		sc.Add(v.(SumCount))
+		return nil
+	}); err != nil {
+		return err
+	}
+	return out.Emit(key, sc)
+}
+
+// sumCountAvgReducer folds SumCounts and emits the final average.
+type sumCountAvgReducer struct{}
+
+func (sumCountAvgReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var sc SumCount
+	if err := values.Each(func(v mapreduce.Value) error {
+		sc.Add(v.(SumCount))
+		return nil
+	}); err != nil {
+		return err
+	}
+	return out.Emit(key, mapreduce.Float64(sc.Avg()))
+}
+
+func decodeSumCountValue(b []byte) (mapreduce.Value, error) {
+	sc, err := DecodeSumCount(b)
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// AirlineAvgDelayCombiner builds variant 2: "implements a combiner, which
+// also requires the implementation of a customized Hadoop Value class".
+func AirlineAvgDelayCombiner(input, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "airline-avg-combiner",
+		NewMapper:   func() mapreduce.Mapper { return airlineSCMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return sumCountAvgReducer{} },
+		NewCombiner: func() mapreduce.Reducer { return sumCountCombiner{} },
+		DecodeValue: decodeSumCountValue,
+		InputPaths:  []string{input},
+		OutputPath:  output,
+	}
+}
+
+// --- variant 3: in-mapper combining ---
+
+// airlineIMCMapper aggregates per-carrier partials in task memory and
+// emits them from Close — "utilizes global memory on each node to
+// implement a combining mechanism without implementing a combiner class".
+// The framework meters its memory high-water mark so the memory/network
+// trade-off is measurable.
+type airlineIMCMapper struct {
+	agg map[string]*SumCount
+}
+
+func (m *airlineIMCMapper) Setup(ctx *mapreduce.TaskContext) error {
+	m.agg = make(map[string]*SumCount)
+	return nil
+}
+
+func (m *airlineIMCMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	carrier, d, ok := parseAirlineRow(line)
+	if !ok {
+		return nil
+	}
+	sc, exists := m.agg[carrier]
+	if !exists {
+		sc = &SumCount{}
+		m.agg[carrier] = sc
+		// A map entry: key string + 16-byte aggregate + bucket overhead.
+		ctx.ObserveMemory(int64(len(carrier)) + 16 + 48)
+	}
+	sc.Add(SumCount{Sum: d, Count: 1})
+	return nil
+}
+
+func (m *airlineIMCMapper) Close(ctx *mapreduce.TaskContext, out mapreduce.Emitter) error {
+	// Deterministic emission order (sorted keys).
+	keys := make([]string, 0, len(m.agg))
+	for k := range m.agg {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		if err := out.Emit(k, *m.agg[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// AirlineAvgDelayInMapper builds variant 3: in-mapper combining.
+func AirlineAvgDelayInMapper(input, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "airline-avg-inmapper",
+		NewMapper:   func() mapreduce.Mapper { return &airlineIMCMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return sumCountAvgReducer{} },
+		DecodeValue: decodeSumCountValue,
+		InputPaths:  []string{input},
+		OutputPath:  output,
+	}
+}

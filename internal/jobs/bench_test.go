@@ -1,0 +1,73 @@
+package jobs_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/jobcontrol"
+	"repro/internal/jobs"
+	"repro/internal/mapreduce"
+	"repro/internal/serial"
+	"repro/internal/vfs"
+)
+
+func BenchmarkAirlineCombinerStandalone(b *testing.B) {
+	fs := vfs.NewMemFS()
+	if _, _, err := datagen.Airline(fs, "/in/ontime.csv", datagen.AirlineOpts{Rows: 20000, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_ = fs.Remove("/out", true)
+		b.StartTimer()
+		if _, err := (&serial.Runner{FS: fs, Parallelism: 4}).Run(
+			jobs.AirlineAvgDelayCombiner("/in", "/out")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTeraSortStandalone(b *testing.B) {
+	fs := vfs.NewMemFS()
+	if _, _, err := datagen.Sortable(fs, "/in/r.txt", datagen.SortableOpts{Rows: 20000, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	job, err := jobs.TeraSort(fs, "/in", "/out", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_ = fs.Remove("/out", true)
+		b.StartTimer()
+		if _, err := (&serial.Runner{FS: fs, Parallelism: 4}).Run(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankPipelineStandalone(b *testing.B) {
+	fs := vfs.NewMemFS()
+	truth, _, err := datagen.Graph(fs, "/graph.txt", datagen.GraphOpts{Nodes: 300, AvgEdges: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_ = fs.Remove("/work", true)
+		_ = fs.Remove("/out", true)
+		b.StartTimer()
+		ctl := jobcontrol.New()
+		ctl.Chain(jobs.PageRankPipeline("/graph.txt", "/work", "/out", truth.Nodes, 5, 0.85)...)
+		runner := &serial.Runner{FS: fs, Parallelism: 2}
+		if err := ctl.Run(func(j *mapreduce.Job) error {
+			_, err := runner.Run(j)
+			return err
+		}, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mapreduce"
+)
+
+// parseRating extracts (user, movie, rating) from a MovieLens
+// "UserID::MovieID::Rating::Timestamp" line.
+func parseRating(line string) (user, movie int, rating float64, ok bool) {
+	f := strings.Split(line, "::")
+	if len(f) != 4 {
+		return 0, 0, 0, false
+	}
+	u, err1 := strconv.Atoi(f[0])
+	m, err2 := strconv.Atoi(f[1])
+	r, err3 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, false
+	}
+	return u, m, r, true
+}
+
+// parseGenreTable builds movieID → genres from movies.dat contents.
+func parseGenreTable(data []byte) map[int][]string {
+	table := map[int][]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Split(line, "::")
+		if len(f) != 3 {
+			continue
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			continue
+		}
+		table[id] = strings.Split(f[2], "|")
+	}
+	return table
+}
+
+// lookupGenresInRaw scans raw movies.dat bytes for one movie's genres —
+// the naive per-record access pattern.
+func lookupGenresInRaw(data []byte, movie int) []string {
+	prefix := strconv.Itoa(movie) + "::"
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			f := strings.Split(line, "::")
+			if len(f) == 3 {
+				return strings.Split(f[2], "|")
+			}
+		}
+	}
+	return nil
+}
+
+// cachedGenreMapper reads movies.dat once in Setup and keeps the table in
+// memory — "an alternative and more efficient approach is to implement a
+// Java object that reads the additional file once and stores the content
+// in memory".
+type cachedGenreMapper struct {
+	sideFile string
+	genres   map[int][]string
+}
+
+func (m *cachedGenreMapper) Setup(ctx *mapreduce.TaskContext) error {
+	data, err := ctx.ReadSideFile(m.sideFile)
+	if err != nil {
+		return err
+	}
+	m.genres = parseGenreTable(data)
+	var mem int64
+	for _, gs := range m.genres {
+		mem += 64
+		for _, g := range gs {
+			mem += int64(len(g)) + 16
+		}
+	}
+	ctx.ObserveMemory(mem)
+	return nil
+}
+
+func (m *cachedGenreMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	_, movie, rating, ok := parseRating(line)
+	if !ok {
+		return nil
+	}
+	for _, g := range m.genres[movie] {
+		if err := out.Emit(g, NewStats(rating)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// naiveGenreMapper re-reads movies.dat inside every Map call — "the
+// easiest, but inefficient approach is to read the additional file from
+// inside each mapper". The side-file counters expose the cost.
+type naiveGenreMapper struct {
+	sideFile string
+}
+
+func (m *naiveGenreMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	_, movie, rating, ok := parseRating(line)
+	if !ok {
+		return nil
+	}
+	data, err := ctx.ReadSideFile(m.sideFile)
+	if err != nil {
+		return err
+	}
+	for _, g := range lookupGenresInRaw(data, movie) {
+		if err := out.Emit(g, NewStats(rating)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statsCombiner folds Stats partials (combiner and reducer helper).
+type statsCombiner struct{}
+
+func (statsCombiner) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var agg Stats
+	if err := values.Each(func(v mapreduce.Value) error {
+		agg.Add(v.(Stats))
+		return nil
+	}); err != nil {
+		return err
+	}
+	return out.Emit(key, agg)
+}
+
+func decodeStatsValue(b []byte) (mapreduce.Value, error) {
+	s, err := DecodeStats(b)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MovieGenreStats builds the first part of the Spring 2013 assignment 1:
+// descriptive statistics (count/avg/min/max) of ratings per genre, with
+// the movie→genre join done through the movies.dat side file. cached
+// selects the efficient access pattern; the naive pattern can run one
+// order of magnitude slower.
+func MovieGenreStats(ratingsInput, moviesSide, output string, cached bool) *mapreduce.Job {
+	name := "movie-genre-stats-naive"
+	newMapper := func() mapreduce.Mapper { return &naiveGenreMapper{sideFile: moviesSide} }
+	if cached {
+		name = "movie-genre-stats-cached"
+		newMapper = func() mapreduce.Mapper { return &cachedGenreMapper{sideFile: moviesSide} }
+	}
+	return &mapreduce.Job{
+		Name:        name,
+		NewMapper:   newMapper,
+		NewReducer:  func() mapreduce.Reducer { return statsCombiner{} },
+		NewCombiner: func() mapreduce.Reducer { return statsCombiner{} },
+		DecodeValue: decodeStatsValue,
+		InputPaths:  []string{ratingsInput},
+		OutputPath:  output,
+		SideFiles:   []string{moviesSide},
+	}
+}
+
+// activeUserMapper emits (userID, genres-of-rated-movie) using the cached
+// side table.
+type activeUserMapper struct {
+	cachedGenreMapper
+}
+
+func (m *activeUserMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	user, movie, _, ok := parseRating(line)
+	if !ok {
+		return nil
+	}
+	gs := m.genres[movie]
+	return out.Emit(fmt.Sprintf("%09d", user), mapreduce.Text(strings.Join(gs, "|")))
+}
+
+// mostActiveUserReducer counts each user's ratings and genre frequencies,
+// tracking the global winner; the answer — a custom multi-field output
+// value — is emitted from Close. Requires a single reducer.
+type mostActiveUserReducer struct {
+	bestUser  string
+	bestStats UserStats
+}
+
+func (r *mostActiveUserReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var count int64
+	genreFreq := map[string]int64{}
+	if err := values.Each(func(v mapreduce.Value) error {
+		count++
+		for _, g := range strings.Split(string(v.(mapreduce.Text)), "|") {
+			if g != "" {
+				genreFreq[g]++
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if count > r.bestStats.Ratings || (count == r.bestStats.Ratings && key < r.bestUser) {
+		var fav string
+		var favN int64 = -1
+		genres := make([]string, 0, len(genreFreq))
+		for g := range genreFreq {
+			genres = append(genres, g)
+		}
+		sort.Strings(genres)
+		for _, g := range genres {
+			if genreFreq[g] > favN {
+				fav, favN = g, genreFreq[g]
+			}
+		}
+		r.bestUser = key
+		r.bestStats = UserStats{Ratings: count, FavGenre: fav}
+	}
+	return nil
+}
+
+func (r *mostActiveUserReducer) Close(ctx *mapreduce.TaskContext, out mapreduce.Emitter) error {
+	if r.bestStats.Ratings == 0 {
+		return nil
+	}
+	user := strings.TrimLeft(r.bestUser, "0")
+	return out.Emit(user, r.bestStats)
+}
+
+// MostActiveUser builds the second part of assignment 1: "identify the
+// user that provides the most ratings and that user's favorite movie
+// genre" — one MapReduce program with a customized output value class.
+func MostActiveUser(ratingsInput, moviesSide, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: "most-active-user",
+		NewMapper: func() mapreduce.Mapper {
+			return &activeUserMapper{cachedGenreMapper{sideFile: moviesSide}}
+		},
+		NewReducer: func() mapreduce.Reducer { return &mostActiveUserReducer{} },
+		DecodeValue: func(b []byte) (mapreduce.Value, error) {
+			return mapreduce.Text(b), nil
+		},
+		NumReducers: 1,
+		InputPaths:  []string{ratingsInput},
+		OutputPath:  output,
+		SideFiles:   []string{moviesSide},
+	}
+}

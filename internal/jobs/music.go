@@ -1,0 +1,105 @@
+package jobs
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/mapreduce"
+)
+
+// albumMapper joins each rating to its album through the cached songs.tsv
+// side table and emits SumCount partials per album.
+type albumMapper struct {
+	sideFile  string
+	songAlbum map[string]string
+}
+
+func (m *albumMapper) Setup(ctx *mapreduce.TaskContext) error {
+	data, err := ctx.ReadSideFile(m.sideFile)
+	if err != nil {
+		return err
+	}
+	m.songAlbum = map[string]string{}
+	var mem int64
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Split(line, "\t")
+		if len(f) >= 2 {
+			m.songAlbum[f[0]] = f[1]
+			mem += int64(len(f[0])+len(f[1])) + 48
+		}
+	}
+	ctx.ObserveMemory(mem)
+	return nil
+}
+
+func (m *albumMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	f := strings.Split(line, "\t")
+	if len(f) != 3 {
+		return nil
+	}
+	rating, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return nil
+	}
+	album, ok := m.songAlbum[f[1]]
+	if !ok {
+		return nil
+	}
+	return out.Emit(album, SumCount{Sum: rating, Count: 1})
+}
+
+// topAlbumReducer computes each album's average and keeps the best; the
+// winner is emitted from Close. Requires a single reducer.
+type topAlbumReducer struct {
+	bestAlbum string
+	bestAvg   float64
+	bestCount int64
+	seen      bool
+	// MinRatings guards against an album with one lucky rating winning.
+	MinRatings int64
+}
+
+func (r *topAlbumReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var sc SumCount
+	if err := values.Each(func(v mapreduce.Value) error {
+		sc.Add(v.(SumCount))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if sc.Count < r.MinRatings {
+		return nil
+	}
+	avg := sc.Avg()
+	if !r.seen || avg > r.bestAvg || (avg == r.bestAvg && key < r.bestAlbum) {
+		r.bestAlbum, r.bestAvg, r.bestCount = key, avg, sc.Count
+		r.seen = true
+	}
+	return nil
+}
+
+func (r *topAlbumReducer) Close(ctx *mapreduce.TaskContext, out mapreduce.Emitter) error {
+	if !r.seen {
+		return nil
+	}
+	return out.Emit(r.bestAlbum, SumCount{Sum: r.bestAvg * float64(r.bestCount), Count: r.bestCount})
+}
+
+// TopAlbum builds the second part of assignment 2: "analyze the Yahoo
+// song database and identify the album that has the highest average
+// rating", joining ratings to albums through the songs side table.
+func TopAlbum(ratingsInput, songsSide, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: "top-album",
+		NewMapper: func() mapreduce.Mapper {
+			return &albumMapper{sideFile: songsSide}
+		},
+		NewReducer:  func() mapreduce.Reducer { return &topAlbumReducer{} },
+		NewCombiner: func() mapreduce.Reducer { return sumCountCombiner{} },
+		DecodeValue: decodeSumCountValue,
+		NumReducers: 1,
+		InputPaths:  []string{ratingsInput},
+		OutputPath:  output,
+		SideFiles:   []string{songsSide},
+	}
+}

@@ -1,0 +1,204 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/mapreduce"
+	"repro/internal/vfs"
+)
+
+// PageRank as iterated MapReduce — the canonical example of the workload
+// class the paper's future-work section says pushed Hadoop beyond MRv1
+// (Spark's in-memory iteration). Each iteration is one MapReduce job over
+// lines of the form
+//
+//	node <TAB> rank <TAB> neighbor,neighbor,...
+//
+// whose output feeds the next iteration through jobcontrol.
+
+// prValue carries either the node's link structure or one rank
+// contribution across the shuffle — a tagged custom value class.
+type prValue struct {
+	isStruct bool
+	links    string
+	contrib  float64
+}
+
+// EncodeValue implements mapreduce.Value.
+func (v prValue) EncodeValue() []byte {
+	if v.isStruct {
+		return append([]byte{'S'}, v.links...)
+	}
+	b := make([]byte, 9)
+	b[0] = 'C'
+	binary.BigEndian.PutUint64(b[1:], math.Float64bits(v.contrib))
+	return b
+}
+
+// String implements mapreduce.Value.
+func (v prValue) String() string {
+	if v.isStruct {
+		return "links:" + v.links
+	}
+	return fmt.Sprintf("contrib:%g", v.contrib)
+}
+
+func decodePRValue(b []byte) (mapreduce.Value, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("jobs: empty pagerank value")
+	}
+	switch b[0] {
+	case 'S':
+		return prValue{isStruct: true, links: string(b[1:])}, nil
+	case 'C':
+		if len(b) != 9 {
+			return nil, fmt.Errorf("jobs: contribution wants 9 bytes, got %d", len(b))
+		}
+		return prValue{contrib: math.Float64frombits(binary.BigEndian.Uint64(b[1:]))}, nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown pagerank tag %q", b[0])
+	}
+}
+
+// prMapper redistributes each node's rank over its out-links and forwards
+// the link structure.
+type prMapper struct{}
+
+func (prMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	node, rank, links, ok := parsePRLine(line)
+	if !ok {
+		return nil
+	}
+	if err := out.Emit(node, prValue{isStruct: true, links: links}); err != nil {
+		return err
+	}
+	nbrs := splitLinks(links)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	share := rank / float64(len(nbrs))
+	for _, nbr := range nbrs {
+		if err := out.Emit(nbr, prValue{contrib: share}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parsePRLine(line string) (node string, rank float64, links string, ok bool) {
+	f := strings.SplitN(line, "\t", 3)
+	if len(f) != 3 {
+		return "", 0, "", false
+	}
+	r, err := strconv.ParseFloat(f[1], 64)
+	if err != nil {
+		return "", 0, "", false
+	}
+	return f[0], r, f[2], true
+}
+
+func splitLinks(links string) []string {
+	if links == "" {
+		return nil
+	}
+	return strings.Split(links, ",")
+}
+
+// prReducer applies the PageRank update and re-emits the node line.
+type prReducer struct {
+	n       float64
+	damping float64
+}
+
+func (r *prReducer) Setup(ctx *mapreduce.TaskContext) error {
+	n, err := strconv.ParseFloat(ctx.Config["pagerank.n"], 64)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("jobs: bad pagerank.n %q", ctx.Config["pagerank.n"])
+	}
+	d, err := strconv.ParseFloat(ctx.Config["pagerank.damping"], 64)
+	if err != nil || d < 0 || d > 1 {
+		return fmt.Errorf("jobs: bad pagerank.damping %q", ctx.Config["pagerank.damping"])
+	}
+	r.n, r.damping = n, d
+	return nil
+}
+
+// prLine is the output value: rank TAB links, so the reducer's text
+// output line parses as next-iteration input.
+type prLine struct {
+	rank  float64
+	links string
+}
+
+func (v prLine) EncodeValue() []byte { return []byte(v.String()) }
+func (v prLine) String() string      { return fmt.Sprintf("%.17g\t%s", v.rank, v.links) }
+
+func (r *prReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var links string
+	var sum float64
+	if err := values.Each(func(v mapreduce.Value) error {
+		pv := v.(prValue)
+		if pv.isStruct {
+			links = pv.links
+		} else {
+			sum += pv.contrib
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	rank := (1-r.damping)/r.n + r.damping*sum
+	return out.Emit(key, prLine{rank: rank, links: links})
+}
+
+// PageRankIteration builds one iteration job.
+func PageRankIteration(input, output string, nodes int, damping float64) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "pagerank-iter",
+		NewMapper:   func() mapreduce.Mapper { return prMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return &prReducer{} },
+		DecodeValue: decodePRValue,
+		InputPaths:  []string{input},
+		OutputPath:  output,
+		Config: map[string]string{
+			"pagerank.n":       strconv.Itoa(nodes),
+			"pagerank.damping": strconv.FormatFloat(damping, 'g', -1, 64),
+		},
+	}
+}
+
+// PageRankPipeline builds the iteration chain: graph -> tmp1 -> tmp2 ...
+// -> output, one MapReduce job per iteration (the disk-churning pattern
+// in-memory engines later removed).
+func PageRankPipeline(input, workDir, output string, nodes, iterations int, damping float64) []*mapreduce.Job {
+	var out []*mapreduce.Job
+	in := input
+	for i := 0; i < iterations; i++ {
+		dst := vfs.Join(workDir, fmt.Sprintf("iter-%03d", i))
+		if i == iterations-1 {
+			dst = output
+		}
+		out = append(out, PageRankIteration(in, dst, nodes, damping))
+		in = dst
+	}
+	return out
+}
+
+// ParsePageRanks reads job output ("node\trank\tlinks" lines) into a map.
+func ParsePageRanks(output string) map[int]float64 {
+	ranks := map[int]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(output), "\n") {
+		node, rank, _, ok := parsePRLine(line)
+		if !ok {
+			continue
+		}
+		if id, err := strconv.Atoi(node); err == nil {
+			ranks[id] = rank
+		}
+	}
+	return ranks
+}

@@ -1,0 +1,141 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mapreduce"
+)
+
+// Params parameterise a registry job build.
+type Params struct {
+	// Input is the input file or directory.
+	Input string
+	// Output is the output directory (must not exist).
+	Output string
+	// Side is the auxiliary join file for jobs that need one
+	// (movies.dat for the movie jobs, songs.tsv for top-album).
+	Side string
+}
+
+// Spec describes one registered course job.
+type Spec struct {
+	Name        string
+	Description string
+	NeedsSide   bool
+	Build       func(p Params) (*Job, error)
+}
+
+// Job aliases the framework job type for registry consumers.
+type Job = mapreduce.Job
+
+// Registry returns the course job catalogue, sorted by name.
+func Registry() []Spec {
+	specs := []Spec{
+		{
+			Name:        "wordcount",
+			Description: "count word occurrences (lecture example)",
+			Build: func(p Params) (*Job, error) {
+				return WordCount(p.Input, p.Output, false), nil
+			},
+		},
+		{
+			Name:        "wordcount-combiner",
+			Description: "word count using the reducer as a combiner",
+			Build: func(p Params) (*Job, error) {
+				return WordCount(p.Input, p.Output, true), nil
+			},
+		},
+		{
+			Name:        "topword",
+			Description: "word with the highest count (Fall 2012 assignment 1)",
+			Build: func(p Params) (*Job, error) {
+				return TopWord(p.Input, p.Output), nil
+			},
+		},
+		{
+			Name:        "airline-avg-plain",
+			Description: "average delay per airline, plain key-value emission",
+			Build: func(p Params) (*Job, error) {
+				return AirlineAvgDelayPlain(p.Input, p.Output), nil
+			},
+		},
+		{
+			Name:        "airline-avg-combiner",
+			Description: "average delay per airline, combiner + custom value class",
+			Build: func(p Params) (*Job, error) {
+				return AirlineAvgDelayCombiner(p.Input, p.Output), nil
+			},
+		},
+		{
+			Name:        "airline-avg-inmapper",
+			Description: "average delay per airline, in-mapper combining",
+			Build: func(p Params) (*Job, error) {
+				return AirlineAvgDelayInMapper(p.Input, p.Output), nil
+			},
+		},
+		{
+			Name:        "movie-genre-stats",
+			Description: "rating statistics per movie genre (cached side data)",
+			NeedsSide:   true,
+			Build: func(p Params) (*Job, error) {
+				if p.Side == "" {
+					return nil, fmt.Errorf("jobs: movie-genre-stats needs -side movies.dat")
+				}
+				return MovieGenreStats(p.Input, p.Side, p.Output, true), nil
+			},
+		},
+		{
+			Name:        "movie-genre-stats-naive",
+			Description: "genre statistics re-reading the side file per record (anti-pattern)",
+			NeedsSide:   true,
+			Build: func(p Params) (*Job, error) {
+				if p.Side == "" {
+					return nil, fmt.Errorf("jobs: movie-genre-stats-naive needs -side movies.dat")
+				}
+				return MovieGenreStats(p.Input, p.Side, p.Output, false), nil
+			},
+		},
+		{
+			Name:        "most-active-user",
+			Description: "most prolific rater and their favourite genre",
+			NeedsSide:   true,
+			Build: func(p Params) (*Job, error) {
+				if p.Side == "" {
+					return nil, fmt.Errorf("jobs: most-active-user needs -side movies.dat")
+				}
+				return MostActiveUser(p.Input, p.Side, p.Output), nil
+			},
+		},
+		{
+			Name:        "top-album",
+			Description: "album with the highest average rating (assignment 2)",
+			NeedsSide:   true,
+			Build: func(p Params) (*Job, error) {
+				if p.Side == "" {
+					return nil, fmt.Errorf("jobs: top-album needs -side songs.tsv")
+				}
+				return TopAlbum(p.Input, p.Side, p.Output), nil
+			},
+		},
+		{
+			Name:        "trace-max-resubmissions",
+			Description: "job with most task resubmissions in the Google trace",
+			Build: func(p Params) (*Job, error) {
+				return TraceMaxResubmissions(p.Input, p.Output), nil
+			},
+		},
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// Lookup finds a registered job by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/mapreduce"
+)
+
+// traceSubmitMapper emits ("jobID#taskIndex", 1) for every SUBMIT event
+// in the Google cluster trace.
+type traceSubmitMapper struct{}
+
+func (traceSubmitMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	f := strings.Split(line, ",")
+	if len(f) != 5 || f[4] != "0" {
+		return nil
+	}
+	return out.Emit(f[1]+"#"+f[2], mapreduce.Int64(1))
+}
+
+// maxResubReducer turns per-task submit counts into per-job resubmission
+// totals and tracks the maximum, emitted from Close. One reducer required.
+type maxResubReducer struct {
+	perJob map[string]int64
+}
+
+func (r *maxResubReducer) Setup(ctx *mapreduce.TaskContext) error {
+	r.perJob = map[string]int64{}
+	return nil
+}
+
+func (r *maxResubReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var submits int64
+	if err := values.Each(func(v mapreduce.Value) error {
+		submits += int64(v.(mapreduce.Int64))
+		return nil
+	}); err != nil {
+		return err
+	}
+	job := strings.SplitN(key, "#", 2)[0]
+	r.perJob[job] += submits - 1 // first submit is not a resubmission
+	return nil
+}
+
+func (r *maxResubReducer) Close(ctx *mapreduce.TaskContext, out mapreduce.Emitter) error {
+	var bestJob string
+	var bestN int64 = -1
+	jobs := make([]string, 0, len(r.perJob))
+	for j := range r.perJob {
+		jobs = append(jobs, j)
+	}
+	sortStrings(jobs)
+	for _, j := range jobs {
+		if r.perJob[j] > bestN {
+			bestJob, bestN = j, r.perJob[j]
+		}
+	}
+	if bestJob == "" {
+		return nil
+	}
+	return out.Emit(bestJob, mapreduce.Int64(bestN))
+}
+
+// TraceMaxResubmissions builds the Fall 2012 assignment 2: "analyze ...
+// a Google Data Center's system log and find the computing job with
+// largest number of task resubmissions".
+func TraceMaxResubmissions(input, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "trace-max-resubmissions",
+		NewMapper:   func() mapreduce.Mapper { return traceSubmitMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return &maxResubReducer{} },
+		NewCombiner: func() mapreduce.Reducer { return sumReducer{} },
+		DecodeValue: mapreduce.DecodeInt64,
+		NumReducers: 1,
+		InputPaths:  []string{input},
+		OutputPath:  output,
+	}
+}
+
+// traceStage2Mapper parses stage-1 output lines ("jobID#task<TAB>submits")
+// and emits (jobID, submits-1).
+type traceStage2Mapper struct{}
+
+func (traceStage2Mapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	f := strings.Split(line, "\t")
+	if len(f) != 2 {
+		return nil
+	}
+	job := strings.SplitN(f[0], "#", 2)[0]
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || n <= 0 {
+		return nil
+	}
+	return out.Emit(job, mapreduce.Int64(n-1))
+}
+
+// maxValueReducer sums each key's values and emits only the key with the
+// largest total, from Close. One reducer required.
+type maxValueReducer struct {
+	bestKey string
+	bestSum int64
+	seen    bool
+}
+
+func (r *maxValueReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var sum int64
+	if err := values.Each(func(v mapreduce.Value) error {
+		sum += int64(v.(mapreduce.Int64))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !r.seen || sum > r.bestSum || (sum == r.bestSum && key < r.bestKey) {
+		r.bestKey, r.bestSum, r.seen = key, sum, true
+	}
+	return nil
+}
+
+func (r *maxValueReducer) Close(ctx *mapreduce.TaskContext, out mapreduce.Emitter) error {
+	if !r.seen {
+		return nil
+	}
+	return out.Emit(r.bestKey, mapreduce.Int64(r.bestSum))
+}
+
+// TraceMaxResubmissionsPipeline is the scalable two-stage version of the
+// assignment, suitable for many reducers in stage 1: stage 1 counts
+// SUBMIT events per (job, task); stage 2 aggregates resubmissions per job
+// and selects the maximum. Run the returned jobs in order (jobcontrol).
+func TraceMaxResubmissionsPipeline(input, tmp, output string, stage1Reducers int) []*mapreduce.Job {
+	stage1 := &mapreduce.Job{
+		Name:        "trace-submits-per-task",
+		NewMapper:   func() mapreduce.Mapper { return traceSubmitMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return sumReducer{} },
+		NewCombiner: func() mapreduce.Reducer { return sumReducer{} },
+		DecodeValue: mapreduce.DecodeInt64,
+		NumReducers: stage1Reducers,
+		InputPaths:  []string{input},
+		OutputPath:  tmp,
+	}
+	stage2 := &mapreduce.Job{
+		Name:        "trace-max-resubmissions-stage2",
+		NewMapper:   func() mapreduce.Mapper { return traceStage2Mapper{} },
+		NewReducer:  func() mapreduce.Reducer { return &maxValueReducer{} },
+		NewCombiner: func() mapreduce.Reducer { return sumReducer{} },
+		DecodeValue: mapreduce.DecodeInt64,
+		NumReducers: 1,
+		InputPaths:  []string{tmp},
+		OutputPath:  output,
+	}
+	return []*mapreduce.Job{stage1, stage2}
+}
+
+// ParseTraceAnswer extracts (jobID, resubmissions) from the job's single
+// output line, a convenience for examples and tests.
+func ParseTraceAnswer(output string) (jobID int64, resub int64, ok bool) {
+	line := strings.TrimSpace(output)
+	f := strings.Split(line, "\t")
+	if len(f) != 2 {
+		return 0, 0, false
+	}
+	j, err1 := strconv.ParseInt(f[0], 10, 64)
+	n, err2 := strconv.ParseInt(f[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return j, n, true
+}

@@ -1,0 +1,98 @@
+package jobs
+
+import (
+	"strings"
+
+	"repro/internal/mapreduce"
+)
+
+// tokenMapper emits (word, 1) per whitespace-separated token — the
+// standard WordCount mapper from the first lecture.
+type tokenMapper struct{}
+
+func (tokenMapper) Map(ctx *mapreduce.TaskContext, off int64, line string, out mapreduce.Emitter) error {
+	for _, w := range strings.Fields(line) {
+		if err := out.Emit(w, mapreduce.Int64(1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sumReducer sums Int64 values per key.
+type sumReducer struct{}
+
+func (sumReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var sum int64
+	if err := values.Each(func(v mapreduce.Value) error {
+		sum += int64(v.(mapreduce.Int64))
+		return nil
+	}); err != nil {
+		return err
+	}
+	return out.Emit(key, mapreduce.Int64(sum))
+}
+
+// WordCount builds the canonical WordCount job. When withCombiner is set,
+// the reducer doubles as the combiner ("another WordCount example that
+// uses the reducer as a combiner"), trading map-side work for shuffle
+// volume — the trade-off the students observed through the job report.
+func WordCount(input, output string, withCombiner bool) *mapreduce.Job {
+	j := &mapreduce.Job{
+		Name:        "wordcount",
+		NewMapper:   func() mapreduce.Mapper { return tokenMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return sumReducer{} },
+		DecodeValue: mapreduce.DecodeInt64,
+		InputPaths:  []string{input},
+		OutputPath:  output,
+	}
+	if withCombiner {
+		j.Name = "wordcount-combiner"
+		j.NewCombiner = func() mapreduce.Reducer { return sumReducer{} }
+	}
+	return j
+}
+
+// topWordReducer sums counts per word and remembers the maximum; the
+// answer is emitted once, from Close. It requires a single reducer.
+type topWordReducer struct {
+	bestWord  string
+	bestCount int64
+}
+
+func (r *topWordReducer) Reduce(ctx *mapreduce.TaskContext, key string, values *mapreduce.Values, out mapreduce.Emitter) error {
+	var sum int64
+	if err := values.Each(func(v mapreduce.Value) error {
+		sum += int64(v.(mapreduce.Int64))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if sum > r.bestCount || (sum == r.bestCount && key < r.bestWord) {
+		r.bestWord, r.bestCount = key, sum
+	}
+	return nil
+}
+
+func (r *topWordReducer) Close(ctx *mapreduce.TaskContext, out mapreduce.Emitter) error {
+	if r.bestCount == 0 {
+		return nil
+	}
+	return out.Emit(r.bestWord, mapreduce.Int64(r.bestCount))
+}
+
+// TopWord builds the Fall 2012 assignment-1 job: "find the word with the
+// highest count in the complete Shakespeare collection". A single reducer
+// scans all word totals and emits only the winner.
+func TopWord(input, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:        "topword",
+		NewMapper:   func() mapreduce.Mapper { return tokenMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return &topWordReducer{} },
+		NewCombiner: func() mapreduce.Reducer { return sumReducer{} },
+		DecodeValue: mapreduce.DecodeInt64,
+		NumReducers: 1,
+		InputPaths:  []string{input},
+		OutputPath:  output,
+	}
+}

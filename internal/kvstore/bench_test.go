@@ -1,0 +1,58 @@
+package kvstore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/vfs"
+)
+
+func BenchmarkPut(b *testing.B) {
+	tbl, err := kvstore.Open(vfs.NewMemFS(), "/t", kvstore.Config{FlushThresholdBytes: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Put(fmt.Sprintf("row%06d", i%1000), []byte("value payload here")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetAfterFlush(b *testing.B) {
+	tbl, err := kvstore.Open(vfs.NewMemFS(), "/t", kvstore.Config{FlushThresholdBytes: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tbl.Put(fmt.Sprintf("row%06d", i), []byte("value"))
+	}
+	if err := tbl.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Get(fmt.Sprintf("row%06d", i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	tbl, err := kvstore.Open(vfs.NewMemFS(), "/t", kvstore.Config{FlushThresholdBytes: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		tbl.Put(fmt.Sprintf("row%06d", i), []byte("value"))
+	}
+	tbl.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Scan("row000500", "row001500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

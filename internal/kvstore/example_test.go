@@ -1,0 +1,42 @@
+package kvstore_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kvstore"
+	"repro/internal/vfs"
+)
+
+// Example shows the HBase-style API: put, scan a row-key range, delete,
+// and recover from the write-ahead log after a crash.
+func Example() {
+	fs := vfs.NewMemFS()
+	tbl, err := kvstore.Open(fs, "/hbase/t", kvstore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl.Put("row1:name", []byte("ada"))
+	tbl.Put("row1:year", []byte("1815"))
+	tbl.Put("row2:name", []byte("alan"))
+	tbl.Delete("row2:name")
+
+	// "Crash" and reopen: the WAL replays.
+	tbl2, err := kvstore.Open(fs, "/hbase/t", kvstore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kvs, err := tbl2.Scan("row1:", "row1;")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range kvs {
+		fmt.Printf("%s=%s\n", kv.Key, kv.Value)
+	}
+	_, err = tbl2.Get("row2:name")
+	fmt.Println("row2:name err:", err)
+	// Output:
+	// row1:name=ada
+	// row1:year=1815
+	// row2:name err: kvstore: key not found
+}

@@ -1,0 +1,471 @@
+// Package kvstore is a teaching-scale HBase: a sorted, versioned
+// key-value store layered on HDFS, matching the architecture covered by
+// the course's HBase/Hive lecture (Fall 2013 added "one lecture
+// introducing HBase/Hive ... to provide a more comprehensive view of the
+// Hadoop ecosystem"). It implements the essential mechanics — a
+// write-ahead log on HDFS, an in-memory MemStore, sorted immutable
+// store files (HFiles) flushed to HDFS, read-path merging across
+// MemStore and store files, tombstone deletes, minor compaction, and
+// range scans — over any vfs.FileSystem, so a table survives whatever
+// the underlying DFS survives.
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// ErrNotFound is returned by Get for absent (or deleted) keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// Config tunes a table.
+type Config struct {
+	// FlushThresholdBytes triggers a MemStore flush (default 64 KiB —
+	// teaching scale).
+	FlushThresholdBytes int64
+	// CompactTrigger is the store-file count that triggers a minor
+	// compaction (default 4).
+	CompactTrigger int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlushThresholdBytes <= 0 {
+		c.FlushThresholdBytes = 64 << 10
+	}
+	if c.CompactTrigger <= 0 {
+		c.CompactTrigger = 4
+	}
+	return c
+}
+
+// cell is one versioned value; tombstone marks a delete.
+type cell struct {
+	seq       uint64
+	value     []byte
+	tombstone bool
+}
+
+// Table is one HBase-style table rooted at a directory of the backing
+// filesystem:
+//
+//	<root>/wal            append-only write-ahead log
+//	<root>/hfiles/NNNNNN  sorted immutable store files
+type Table struct {
+	fs   vfs.FileSystem
+	root string
+	cfg  Config
+
+	mem      map[string]cell
+	memBytes int64
+	seq      uint64
+	nextFile int
+
+	// Flushes and Compactions count maintenance operations for tests and
+	// the lecture demo.
+	Flushes     int
+	Compactions int
+}
+
+// Open creates or reopens a table at root. Reopening replays the WAL into
+// the MemStore and discovers existing store files — the recovery path.
+func Open(fs vfs.FileSystem, root string, cfg Config) (*Table, error) {
+	t := &Table{
+		fs:   fs,
+		root: vfs.Clean(root),
+		cfg:  cfg.withDefaults(),
+		mem:  map[string]cell{},
+	}
+	if err := fs.Mkdir(t.hfileDir()); err != nil {
+		return nil, err
+	}
+	files, err := t.storeFiles()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		n, err := fileNumber(f)
+		if err != nil {
+			return nil, err
+		}
+		if n >= t.nextFile {
+			t.nextFile = n + 1
+		}
+		// Track the highest sequence number present in store files.
+		entries, err := t.readStoreFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.cell.seq > t.seq {
+				t.seq = e.cell.seq
+			}
+		}
+	}
+	if err := t.replayWAL(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Table) walPath() string  { return vfs.Join(t.root, "wal") }
+func (t *Table) hfileDir() string { return vfs.Join(t.root, "hfiles") }
+
+func fileNumber(path string) (int, error) {
+	_, name := vfs.Split(path)
+	return strconv.Atoi(name)
+}
+
+// storeFiles lists store file paths, oldest first.
+func (t *Table) storeFiles() ([]string, error) {
+	infos, err := t.fs.List(t.hfileDir())
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, fi := range infos {
+		if !fi.IsDir {
+			out = append(out, fi.Path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- WAL ---
+
+// walRecord is one logged mutation, encoded as a single text line:
+// seq <TAB> P|D <TAB> b64(key) <TAB> b64(value)
+func walLine(seq uint64, key string, c cell) string {
+	op := "P"
+	if c.tombstone {
+		op = "D"
+	}
+	return fmt.Sprintf("%d\t%s\t%s\t%s\n", seq, op,
+		base64.StdEncoding.EncodeToString([]byte(key)),
+		base64.StdEncoding.EncodeToString(c.value))
+}
+
+func parseWALLine(line string) (key string, c cell, err error) {
+	f := strings.Split(line, "\t")
+	if len(f) != 4 {
+		return "", cell{}, fmt.Errorf("kvstore: bad wal line %q", line)
+	}
+	seq, err := strconv.ParseUint(f[0], 10, 64)
+	if err != nil {
+		return "", cell{}, err
+	}
+	kb, err := base64.StdEncoding.DecodeString(f[2])
+	if err != nil {
+		return "", cell{}, err
+	}
+	vb, err := base64.StdEncoding.DecodeString(f[3])
+	if err != nil {
+		return "", cell{}, err
+	}
+	return string(kb), cell{seq: seq, value: vb, tombstone: f[1] == "D"}, nil
+}
+
+// appendWAL rewrites the WAL with the new record appended. (vfs has no
+// append mode; the WAL is small — it is truncated at every flush.)
+func (t *Table) appendWAL(line string) error {
+	var existing []byte
+	if vfs.Exists(t.fs, t.walPath()) {
+		data, err := vfs.ReadFile(t.fs, t.walPath())
+		if err != nil {
+			return err
+		}
+		existing = data
+		if err := t.fs.Remove(t.walPath(), false); err != nil {
+			return err
+		}
+	}
+	return vfs.WriteFile(t.fs, t.walPath(), append(existing, line...))
+}
+
+func (t *Table) replayWAL() error {
+	if !vfs.Exists(t.fs, t.walPath()) {
+		return nil
+	}
+	data, err := vfs.ReadFile(t.fs, t.walPath())
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		if sc.Text() == "" {
+			continue
+		}
+		key, c, err := parseWALLine(sc.Text())
+		if err != nil {
+			return err
+		}
+		t.applyToMem(key, c)
+		if c.seq > t.seq {
+			t.seq = c.seq
+		}
+	}
+	return sc.Err()
+}
+
+func (t *Table) applyToMem(key string, c cell) {
+	if old, ok := t.mem[key]; ok {
+		t.memBytes -= int64(len(key) + len(old.value))
+	}
+	t.mem[key] = c
+	t.memBytes += int64(len(key) + len(c.value))
+}
+
+// --- mutations ---
+
+// Put stores value under key.
+func (t *Table) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("kvstore: empty key")
+	}
+	t.seq++
+	c := cell{seq: t.seq, value: append([]byte(nil), value...)}
+	if err := t.appendWAL(walLine(t.seq, key, c)); err != nil {
+		return err
+	}
+	t.applyToMem(key, c)
+	return t.maybeFlush()
+}
+
+// Delete writes a tombstone for key (idempotent).
+func (t *Table) Delete(key string) error {
+	t.seq++
+	c := cell{seq: t.seq, tombstone: true}
+	if err := t.appendWAL(walLine(t.seq, key, c)); err != nil {
+		return err
+	}
+	t.applyToMem(key, c)
+	return t.maybeFlush()
+}
+
+func (t *Table) maybeFlush() error {
+	if t.memBytes < t.cfg.FlushThresholdBytes {
+		return nil
+	}
+	return t.Flush()
+}
+
+// --- store files ---
+
+type entry struct {
+	key  string
+	cell cell
+}
+
+// Flush writes the MemStore as a new sorted store file and truncates the
+// WAL. A no-op on an empty MemStore.
+func (t *Table) Flush() error {
+	if len(t.mem) == 0 {
+		return nil
+	}
+	entries := make([]entry, 0, len(t.mem))
+	for k, c := range t.mem {
+		entries = append(entries, entry{k, c})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	path := vfs.Join(t.hfileDir(), fmt.Sprintf("%06d", t.nextFile))
+	if err := t.writeStoreFile(path, entries); err != nil {
+		return err
+	}
+	t.nextFile++
+	t.mem = map[string]cell{}
+	t.memBytes = 0
+	if vfs.Exists(t.fs, t.walPath()) {
+		if err := t.fs.Remove(t.walPath(), false); err != nil {
+			return err
+		}
+	}
+	t.Flushes++
+	files, err := t.storeFiles()
+	if err != nil {
+		return err
+	}
+	if len(files) >= t.cfg.CompactTrigger {
+		return t.Compact()
+	}
+	return nil
+}
+
+func (t *Table) writeStoreFile(path string, entries []entry) error {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		buf.WriteString(walLine(e.cell.seq, e.key, e.cell))
+	}
+	return vfs.WriteFile(t.fs, path, buf.Bytes())
+}
+
+func (t *Table) readStoreFile(path string) ([]entry, error) {
+	data, err := vfs.ReadFile(t.fs, path)
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		if sc.Text() == "" {
+			continue
+		}
+		key, c, err := parseWALLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry{key, c})
+	}
+	return out, sc.Err()
+}
+
+// Compact merges all store files into one, dropping overwritten versions
+// and tombstoned keys (a major compaction at teaching scale).
+func (t *Table) Compact() error {
+	files, err := t.storeFiles()
+	if err != nil {
+		return err
+	}
+	if len(files) <= 1 {
+		return nil
+	}
+	latest := map[string]cell{}
+	for _, f := range files {
+		entries, err := t.readStoreFile(f)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if cur, ok := latest[e.key]; !ok || e.cell.seq > cur.seq {
+				latest[e.key] = e.cell
+			}
+		}
+	}
+	var merged []entry
+	for k, c := range latest {
+		if c.tombstone {
+			continue // tombstones can drop: no older files remain
+		}
+		merged = append(merged, entry{k, c})
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	path := vfs.Join(t.hfileDir(), fmt.Sprintf("%06d", t.nextFile))
+	if err := t.writeStoreFile(path, merged); err != nil {
+		return err
+	}
+	t.nextFile++
+	for _, f := range files {
+		if err := t.fs.Remove(f, false); err != nil {
+			return err
+		}
+	}
+	t.Compactions++
+	return nil
+}
+
+// --- reads ---
+
+// Get returns the newest value for key, or ErrNotFound.
+func (t *Table) Get(key string) ([]byte, error) {
+	best, ok := t.lookup(key)
+	if !ok || best.tombstone {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), best.value...), nil
+}
+
+func (t *Table) lookup(key string) (cell, bool) {
+	var best cell
+	found := false
+	if c, ok := t.mem[key]; ok {
+		best, found = c, true
+	}
+	files, err := t.storeFiles()
+	if err != nil {
+		return cell{}, false
+	}
+	for _, f := range files {
+		entries, err := t.readStoreFile(f)
+		if err != nil {
+			continue
+		}
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].key >= key })
+		if i < len(entries) && entries[i].key == key {
+			if !found || entries[i].cell.seq > best.seq {
+				best, found = entries[i].cell, true
+			}
+		}
+	}
+	return best, found
+}
+
+// KV is one scan result.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Scan returns live key-value pairs with startKey <= key < endKey
+// (endKey "" = unbounded), in key order, merging MemStore and all store
+// files with newest-version-wins semantics.
+func (t *Table) Scan(startKey, endKey string) ([]KV, error) {
+	newest := map[string]cell{}
+	consider := func(key string, c cell) {
+		if key < startKey || (endKey != "" && key >= endKey) {
+			return
+		}
+		if cur, ok := newest[key]; !ok || c.seq > cur.seq {
+			newest[key] = c
+		}
+	}
+	files, err := t.storeFiles()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		entries, err := t.readStoreFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			consider(e.key, e.cell)
+		}
+	}
+	for k, c := range t.mem {
+		consider(k, c)
+	}
+	var out []KV
+	for k, c := range newest {
+		if c.tombstone {
+			continue
+		}
+		out = append(out, KV{Key: k, Value: append([]byte(nil), c.value...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Len returns the number of live keys.
+func (t *Table) Len() (int, error) {
+	kvs, err := t.Scan("", "")
+	if err != nil {
+		return 0, err
+	}
+	return len(kvs), nil
+}
+
+// StoreFileCount reports the current number of store files.
+func (t *Table) StoreFileCount() int {
+	files, _ := t.storeFiles()
+	return len(files)
+}
+
+// MemStoreBytes reports the current MemStore footprint.
+func (t *Table) MemStoreBytes() int64 { return t.memBytes }

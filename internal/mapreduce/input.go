@@ -1,0 +1,155 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/vfs"
+)
+
+// DefaultMaxLineBytes bounds how far past a split's end a reader must
+// fetch to complete the split's final record.
+const DefaultMaxLineBytes = 1 << 20
+
+// Record is one text input record: the line and its byte offset in the
+// file, exactly the (key, value) pair Hadoop's TextInputFormat delivers.
+type Record struct {
+	Offset int64
+	Line   string
+}
+
+// FileSplit is a contiguous byte range of one input file assigned to one
+// map task. Hosts lists hostnames holding the data locally (empty for
+// non-replicated filesystems); the distributed scheduler uses it for
+// locality.
+type FileSplit struct {
+	Path     string
+	Offset   int64
+	Length   int64
+	FileSize int64
+	Hosts    []string
+}
+
+// End returns the exclusive end offset of the split.
+func (s FileSplit) End() int64 { return s.Offset + s.Length }
+
+func (s FileSplit) String() string {
+	return fmt.Sprintf("%s:%d+%d", s.Path, s.Offset, s.Length)
+}
+
+// ComputeSplits expands the input paths (files or directories) on fs and
+// carves each file into splits of at most splitSize bytes. Empty files
+// yield no splits.
+func ComputeSplits(fs vfs.FileSystem, inputs []string, splitSize int64) ([]FileSplit, error) {
+	if splitSize <= 0 {
+		splitSize = DefaultSplitSize
+	}
+	var files []vfs.FileInfo
+	for _, in := range inputs {
+		err := vfs.Walk(fs, in, func(fi vfs.FileInfo) error {
+			files = append(files, fi)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	var splits []FileSplit
+	for _, f := range files {
+		if f.Size == 0 {
+			continue
+		}
+		for off := int64(0); off < f.Size; off += splitSize {
+			length := splitSize
+			if off+length > f.Size {
+				length = f.Size - off
+			}
+			splits = append(splits, FileSplit{
+				Path: f.Path, Offset: off, Length: length, FileSize: f.Size,
+			})
+		}
+	}
+	return splits, nil
+}
+
+// RecordsInRange extracts the records belonging to the split [off, end) of
+// a file from data, where data holds the file bytes starting at absolute
+// offset dataStart. The caller must supply data reaching at least one byte
+// before off (when off > 0, to detect whether a record starts exactly at
+// off) and far enough past end to complete the final record or reach EOF.
+//
+// Record-boundary rule (Hadoop TextInputFormat): a record belongs to the
+// split containing its first byte; a split whose start lands mid-record
+// skips forward to the next record; the split containing a record's start
+// reads past its own end to finish that record.
+func RecordsInRange(data []byte, dataStart, off, end int64) []Record {
+	pos := off
+	if off > 0 {
+		// Start one byte early: the first newline found tells us where the
+		// first record owned by this split begins.
+		scanFrom := off - 1 - dataStart
+		if scanFrom < 0 {
+			scanFrom = 0
+		}
+		nl := bytes.IndexByte(data[scanFrom:], '\n')
+		if nl < 0 {
+			return nil // split is entirely inside one record owned by a predecessor
+		}
+		pos = dataStart + scanFrom + int64(nl) + 1
+	}
+	var out []Record
+	for pos < end {
+		i := pos - dataStart
+		if i >= int64(len(data)) {
+			break
+		}
+		nl := bytes.IndexByte(data[i:], '\n')
+		var line []byte
+		var next int64
+		if nl < 0 {
+			line = data[i:]
+			next = dataStart + int64(len(data))
+			if len(line) == 0 {
+				break
+			}
+		} else {
+			line = data[i : i+int64(nl)]
+			next = pos + int64(nl) + 1
+		}
+		line = bytes.TrimSuffix(line, []byte{'\r'})
+		out = append(out, Record{Offset: pos, Line: string(line)})
+		pos = next
+		if nl < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// ReadSplitRecords reads the records of one split from fs using a plain
+// sequential reader. It fetches the byte range the split needs (including
+// the look-back byte and the tail-line overflow) and applies
+// RecordsInRange. Returns the records and the number of bytes actually
+// read from the filesystem.
+func ReadSplitRecords(fs vfs.FileSystem, split FileSplit) ([]Record, int64, error) {
+	fetchStart := split.Offset
+	if fetchStart > 0 {
+		fetchStart--
+	}
+	fetchEnd := split.End() + DefaultMaxLineBytes
+	if fetchEnd > split.FileSize {
+		fetchEnd = split.FileSize
+	}
+	data, err := vfs.ReadFile(fs, split.Path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if int64(len(data)) < fetchEnd {
+		fetchEnd = int64(len(data))
+	}
+	window := data[fetchStart:fetchEnd]
+	recs := RecordsInRange(window, fetchStart, split.Offset, split.End())
+	return recs, fetchEnd - fetchStart, nil
+}

@@ -1,0 +1,166 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// Default tuning knobs (Hadoop 1.x era defaults, scaled for teaching).
+const (
+	DefaultSplitSize   = 4 << 20 // stand-alone mode split size
+	DefaultNumReducers = 1
+)
+
+// Job describes one MapReduce program: the user code, the data paths and
+// the tuning knobs. The same Job value is accepted by the serial runner
+// and the distributed runtime.
+type Job struct {
+	// Name labels the job in reports.
+	Name string
+	// NewMapper constructs a fresh Mapper per map task (tasks may hold
+	// per-task state, e.g. in-mapper combining aggregates).
+	NewMapper func() Mapper
+	// NewReducer constructs a fresh Reducer per reduce task.
+	NewReducer func() Reducer
+	// NewCombiner optionally constructs a map-side combiner. As in Hadoop,
+	// it must be an associative, commutative reduction whose output type
+	// equals its input type — running it zero or more times must not
+	// change the final answer.
+	NewCombiner func() Reducer
+	// DecodeValue decodes the values the mappers (and combiner) emit.
+	DecodeValue ValueDecoder
+	// NumReducers is the number of reduce partitions (default 1).
+	NumReducers int
+	// Partition routes keys to reducers (default HashPartition).
+	Partition PartitionFunc
+	// GroupKey, when set, is Hadoop's grouping comparator: reduce groups
+	// form over GroupKey(key) while values still arrive in full-key sort
+	// order — the secondary-sort pattern. Partition must route by the
+	// same group key, or a group's records scatter across reducers.
+	GroupKey func(key string) string
+	// InputPaths are files or directories on the job filesystem.
+	InputPaths []string
+	// OutputPath is a directory that must not already exist (Hadoop
+	// refuses to clobber output); part-r-NNNNN files are written there.
+	OutputPath string
+	// SideFiles are auxiliary data files tasks may open through the task
+	// context (the movie-genre and album join files). The framework
+	// meters how tasks access them.
+	SideFiles []string
+	// Config carries free-form job parameters to tasks.
+	Config map[string]string
+	// SplitSize overrides the standalone-mode input split size.
+	SplitSize int64
+	// SpillRecords bounds the map-side sort buffer (Hadoop's io.sort.mb,
+	// in records): when a task's collected output exceeds it, the buffer
+	// is sorted, combined and spilled as a run, and runs are merged (and
+	// re-combined) at task end. 0 means unbounded (single spill).
+	SpillRecords int
+}
+
+// Validate reports configuration errors before any work starts.
+func (j *Job) Validate() error {
+	switch {
+	case j.Name == "":
+		return errors.New("mapreduce: job needs a Name")
+	case j.NewMapper == nil:
+		return errors.New("mapreduce: job needs a NewMapper")
+	case j.NewReducer == nil:
+		return errors.New("mapreduce: job needs a NewReducer")
+	case j.DecodeValue == nil:
+		return errors.New("mapreduce: job needs a DecodeValue")
+	case len(j.InputPaths) == 0:
+		return errors.New("mapreduce: job needs InputPaths")
+	case j.OutputPath == "":
+		return errors.New("mapreduce: job needs an OutputPath")
+	case j.NumReducers < 0:
+		return fmt.Errorf("mapreduce: NumReducers=%d is negative", j.NumReducers)
+	}
+	return nil
+}
+
+// Reducers returns the effective reducer count.
+func (j *Job) Reducers() int {
+	if j.NumReducers <= 0 {
+		return DefaultNumReducers
+	}
+	return j.NumReducers
+}
+
+// Partitioner returns the effective partition function.
+func (j *Job) Partitioner() PartitionFunc {
+	if j.Partition == nil {
+		return HashPartition
+	}
+	return j.Partition
+}
+
+// EffectiveSplitSize returns the standalone split size.
+func (j *Job) EffectiveSplitSize() int64 {
+	if j.SplitSize <= 0 {
+		return DefaultSplitSize
+	}
+	return j.SplitSize
+}
+
+// TaskContext is the per-task view of the framework: counters, config and
+// metered access to side files. One context exists per task attempt.
+type TaskContext struct {
+	// JobName and TaskID identify the attempt in logs.
+	JobName string
+	TaskID  string
+	// Counters is the attempt's private counter set.
+	Counters *Counters
+	// Config is the job's Config map (read-only).
+	Config map[string]string
+
+	fs        vfs.FileSystem
+	sideFiles map[string]bool
+	memoryNow int64
+}
+
+// NewTaskContext builds a context for one task attempt.
+func NewTaskContext(jobName, taskID string, fs vfs.FileSystem, job *Job) *TaskContext {
+	side := make(map[string]bool, len(job.SideFiles))
+	for _, p := range job.SideFiles {
+		side[vfs.Clean(p)] = true
+	}
+	return &TaskContext{
+		JobName:   jobName,
+		TaskID:    taskID,
+		Counters:  NewCounters(),
+		Config:    job.Config,
+		fs:        fs,
+		sideFiles: side,
+	}
+}
+
+// ReadSideFile reads a declared side file in full, metering the access.
+// Reading it from inside every Map call is the slow anti-pattern the
+// assignment demonstrates; reading it once from Setup is the fast one.
+func (ctx *TaskContext) ReadSideFile(path string) ([]byte, error) {
+	p := vfs.Clean(path)
+	if !ctx.sideFiles[p] {
+		return nil, fmt.Errorf("mapreduce: %q is not a declared side file", path)
+	}
+	data, err := vfs.ReadFile(ctx.fs, p)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Counters.Inc(CtrSideFileOpens, 1)
+	ctx.Counters.Inc(CtrSideFileBytesRead, int64(len(data)))
+	return data, nil
+}
+
+// ObserveMemory records a change in task-held memory (positive or
+// negative) and tracks the peak, so in-mapper combining strategies can be
+// compared for footprint.
+func (ctx *TaskContext) ObserveMemory(deltaBytes int64) {
+	ctx.memoryNow += deltaBytes
+	if ctx.memoryNow < 0 {
+		ctx.memoryNow = 0
+	}
+	ctx.Counters.Max(CtrMapperMemoryPeak, ctx.memoryNow)
+}

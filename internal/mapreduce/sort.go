@@ -1,0 +1,152 @@
+package mapreduce
+
+import (
+	"sort"
+)
+
+// SortPairs orders pairs by key. The sort is stable so that values for a
+// key arrive at the reducer in emission order, which several of the course
+// jobs rely on for determinism.
+func SortPairs(pairs []Pair) {
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+}
+
+// MergeSortedRuns merges pre-sorted runs of pairs (one per map task) into
+// a single sorted slice — the reduce-side merge phase. Ties across runs
+// resolve in run order, keeping the merge deterministic.
+func MergeSortedRuns(runs [][]Pair) []Pair {
+	total := 0
+	live := make([][]Pair, 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+			total += len(r)
+		}
+	}
+	out := make([]Pair, 0, total)
+	for len(live) > 0 {
+		best := 0
+		for i := 1; i < len(live); i++ {
+			if live[i][0].Key < live[best][0].Key {
+				best = i
+			}
+		}
+		out = append(out, live[best][0])
+		live[best] = live[best][1:]
+		if len(live[best]) == 0 {
+			live = append(live[:best], live[best+1:]...)
+		}
+	}
+	return out
+}
+
+// Values iterates the decoded values of one reduce group. It decodes
+// lazily so the raw (metered) bytes are what travelled through the
+// shuffle.
+type Values struct {
+	decode ValueDecoder
+	raw    [][]byte
+	i      int
+}
+
+// NewValues builds an iterator over encoded values.
+func NewValues(decode ValueDecoder, raw [][]byte) *Values {
+	return &Values{decode: decode, raw: raw}
+}
+
+// Next returns the next value, or ok=false when exhausted.
+func (v *Values) Next() (Value, bool, error) {
+	if v.i >= len(v.raw) {
+		return nil, false, nil
+	}
+	val, err := v.decode(v.raw[v.i])
+	if err != nil {
+		return nil, false, err
+	}
+	v.i++
+	return val, true, nil
+}
+
+// Each applies fn to every remaining value.
+func (v *Values) Each(fn func(Value) error) error {
+	for {
+		val, ok, err := v.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(val); err != nil {
+			return err
+		}
+	}
+}
+
+// Len returns the total number of values in the group.
+func (v *Values) Len() int { return len(v.raw) }
+
+// GroupIterate walks a sorted pair slice group by group, invoking fn once
+// per distinct key with an iterator over that key's values.
+func GroupIterate(sorted []Pair, decode ValueDecoder, fn func(key string, values *Values) error) error {
+	return GroupIterateBy(sorted, decode, nil, fn)
+}
+
+// GroupIterateBy groups by groupKey(key) (identity when nil): adjacent
+// pairs whose group keys match form one reduce group, with values in
+// full-key sorted order — the grouping-comparator semantics behind
+// secondary sort. fn receives the group's first full key.
+func GroupIterateBy(sorted []Pair, decode ValueDecoder, groupKey func(string) string, fn func(key string, values *Values) error) error {
+	gk := func(k string) string { return k }
+	if groupKey != nil {
+		gk = groupKey
+	}
+	i := 0
+	for i < len(sorted) {
+		j := i
+		g := gk(sorted[i].Key)
+		for j < len(sorted) && gk(sorted[j].Key) == g {
+			j++
+		}
+		raw := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			raw = append(raw, sorted[k].Val)
+		}
+		if err := fn(sorted[i].Key, NewValues(decode, raw)); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// pairCollector is an Emitter that appends encoded pairs to a slice.
+type pairCollector struct {
+	pairs []Pair
+}
+
+func (p *pairCollector) Emit(key string, value Value) error {
+	p.pairs = append(p.pairs, Pair{Key: key, Val: value.EncodeValue()})
+	return nil
+}
+
+// RunCombiner applies the job's combiner to a sorted partition of map
+// output, returning the (sorted) combined pairs and updating the combine
+// counters. With no combiner configured it returns the input unchanged.
+func RunCombiner(ctx *TaskContext, job *Job, sorted []Pair) ([]Pair, error) {
+	if job.NewCombiner == nil {
+		return sorted, nil
+	}
+	combiner := job.NewCombiner()
+	col := &pairCollector{}
+	err := GroupIterate(sorted, job.DecodeValue, func(key string, values *Values) error {
+		ctx.Counters.Inc(CtrCombineInputRecords, int64(values.Len()))
+		return combiner.Reduce(ctx, key, values, col)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Counters.Inc(CtrCombineOutputRecords, int64(len(col.pairs)))
+	SortPairs(col.pairs)
+	return col.pairs, nil
+}

@@ -1,0 +1,167 @@
+package mapreduce
+
+import (
+	"fmt"
+	"io"
+)
+
+// MapOutput is one map task's output: a sorted (and, if configured,
+// combined) run of pairs per reduce partition.
+type MapOutput struct {
+	Partitions [][]Pair
+}
+
+// Bytes returns the total encoded size of the output — what the shuffle
+// will move for this task.
+func (m *MapOutput) Bytes() int64 {
+	var n int64
+	for _, part := range m.Partitions {
+		for _, p := range part {
+			n += p.Bytes()
+		}
+	}
+	return n
+}
+
+// Records returns the total pair count across partitions.
+func (m *MapOutput) Records() int64 {
+	var n int64
+	for _, part := range m.Partitions {
+		n += int64(len(part))
+	}
+	return n
+}
+
+// ExecuteMap runs one map task over its records: Setup, Map per record,
+// Close, then partition, sort and combine — spilling the sort buffer
+// whenever it exceeds the job's SpillRecords bound, exactly as a full
+// io.sort buffer forces a Hadoop map task to spill mid-run. Both runtimes
+// call this; they differ only in how they fetch the records and where the
+// output lives.
+func ExecuteMap(ctx *TaskContext, job *Job, records []Record) (*MapOutput, error) {
+	mapper := job.NewMapper()
+	nParts := job.Reducers()
+	part := job.Partitioner()
+
+	// spills[p] holds the sorted+combined runs already flushed for
+	// partition p; buffer holds unsorted pairs not yet spilled.
+	spills := make([][][]Pair, nParts)
+	buffer := make([][]Pair, nParts)
+	buffered := 0
+
+	spill := func() error {
+		for p, pairs := range buffer {
+			if len(pairs) == 0 {
+				continue
+			}
+			SortPairs(pairs)
+			combined, err := RunCombiner(ctx, job, pairs)
+			if err != nil {
+				return fmt.Errorf("combiner: %w", err)
+			}
+			spills[p] = append(spills[p], combined)
+			ctx.Counters.Inc(CtrSpilledRecords, int64(len(combined)))
+			buffer[p] = nil
+		}
+		buffered = 0
+		return nil
+	}
+
+	emit := EmitterFunc(func(key string, value Value) error {
+		p := part(key, nParts)
+		if p < 0 || p >= nParts {
+			return fmt.Errorf("mapreduce: partitioner returned %d for %d reducers", p, nParts)
+		}
+		pair := Pair{Key: key, Val: value.EncodeValue()}
+		buffer[p] = append(buffer[p], pair)
+		buffered++
+		ctx.Counters.Inc(CtrMapOutputRecords, 1)
+		ctx.Counters.Inc(CtrMapOutputBytes, pair.Bytes())
+		if job.SpillRecords > 0 && buffered >= job.SpillRecords {
+			return spill()
+		}
+		return nil
+	})
+
+	if s, ok := mapper.(Setupper); ok {
+		if err := s.Setup(ctx); err != nil {
+			return nil, fmt.Errorf("map setup: %w", err)
+		}
+	}
+	for _, rec := range records {
+		ctx.Counters.Inc(CtrMapInputRecords, 1)
+		ctx.Counters.Inc(CtrMapInputBytes, int64(len(rec.Line))+1)
+		if err := mapper.Map(ctx, rec.Offset, rec.Line, emit); err != nil {
+			return nil, fmt.Errorf("map record at offset %d: %w", rec.Offset, err)
+		}
+	}
+	if c, ok := mapper.(Closer); ok {
+		if err := c.Close(ctx, emit); err != nil {
+			return nil, fmt.Errorf("map close: %w", err)
+		}
+	}
+	if err := spill(); err != nil {
+		return nil, err
+	}
+
+	// Merge the spill runs per partition; a multi-spill merge re-combines
+	// so each final partition holds at most one pair per combined key.
+	out := &MapOutput{Partitions: make([][]Pair, nParts)}
+	for p, runs := range spills {
+		switch len(runs) {
+		case 0:
+			out.Partitions[p] = nil
+		case 1:
+			out.Partitions[p] = runs[0]
+		default:
+			merged := MergeSortedRuns(runs)
+			combined, err := RunCombiner(ctx, job, merged)
+			if err != nil {
+				return nil, fmt.Errorf("merge combiner: %w", err)
+			}
+			out.Partitions[p] = combined
+		}
+	}
+	return out, nil
+}
+
+// ExecuteReduce runs one reduce task: merge the sorted runs fetched from
+// each map task, group by key, apply the reducer (with lifecycle hooks),
+// and write text output lines ("key<TAB>value\n") to w. Returns the bytes
+// written.
+func ExecuteReduce(ctx *TaskContext, job *Job, runs [][]Pair, w io.Writer) (int64, error) {
+	reducer := job.NewReducer()
+	var written int64
+	emit := EmitterFunc(func(key string, value Value) error {
+		n, err := fmt.Fprintf(w, "%s\t%s\n", key, value.String())
+		written += int64(n)
+		ctx.Counters.Inc(CtrReduceOutputRecords, 1)
+		return err
+	})
+
+	if s, ok := reducer.(Setupper); ok {
+		if err := s.Setup(ctx); err != nil {
+			return written, fmt.Errorf("reduce setup: %w", err)
+		}
+	}
+	merged := MergeSortedRuns(runs)
+	err := GroupIterateBy(merged, job.DecodeValue, job.GroupKey, func(key string, values *Values) error {
+		ctx.Counters.Inc(CtrReduceInputGroups, 1)
+		ctx.Counters.Inc(CtrReduceInputRecords, int64(values.Len()))
+		return reducer.Reduce(ctx, key, values, emit)
+	})
+	if err != nil {
+		return written, fmt.Errorf("reduce: %w", err)
+	}
+	if c, ok := reducer.(Closer); ok {
+		if err := c.Close(ctx, emit); err != nil {
+			return written, fmt.Errorf("reduce close: %w", err)
+		}
+	}
+	return written, nil
+}
+
+// PartitionName returns the conventional output file name for reducer r.
+func PartitionName(r int) string {
+	return fmt.Sprintf("part-r-%05d", r)
+}

@@ -1,0 +1,942 @@
+package mrcluster
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskRunning
+	taskDone
+)
+
+type task struct {
+	jr    *jobRun
+	isMap bool
+	idx   int
+	split mapreduce.FileSplit // map tasks only
+
+	state      taskState
+	failures   int
+	attemptSeq int
+	attempts   []*attempt // currently running attempts
+
+	output   *mapreduce.MapOutput // completed map output
+	outputOn cluster.NodeID
+}
+
+func (t *task) id() string {
+	kind := "r"
+	if t.isMap {
+		kind = "m"
+	}
+	return fmt.Sprintf("task_%s_%s_%06d", t.jr.id, kind, t.idx)
+}
+
+type attempt struct {
+	t           *task
+	tt          *TaskTracker
+	seq         int
+	speculative bool
+	locality    int // 0 data-local, 1 rack-local, 2 remote (maps)
+	startedAt   sim.Time
+	expectedEnd sim.Time
+	timer       *sim.Timer
+	dead        bool
+	tempPath    string // reduce attempts: uncommitted output
+}
+
+func (a *attempt) id() string {
+	return fmt.Sprintf("attempt_%s_%d", a.t.id(), a.seq)
+}
+
+type jobState int
+
+const (
+	jobRunning jobState = iota
+	jobSucceeded
+	jobFailed
+)
+
+type jobRun struct {
+	id  string
+	job *mapreduce.Job
+
+	maps    []*task
+	reduces []*task
+
+	mapsDone    int
+	reducesDone int
+	state       jobState
+	err         error
+
+	counters    *mapreduce.Counters
+	submittedAt sim.Time
+	mapsDoneAt  sim.Time
+	finishedAt  sim.Time
+
+	mapDurations    []time.Duration
+	reduceDurations []time.Duration
+
+	handle *JobHandle
+}
+
+// JobHandle tracks an in-flight job.
+type JobHandle struct {
+	jr *jobRun
+}
+
+// Done reports whether the job reached a terminal state.
+func (h *JobHandle) Done() bool { return h.jr.state != jobRunning }
+
+// Err returns the terminal error, if the job failed.
+func (h *JobHandle) Err() error {
+	if h.jr.state == jobFailed {
+		return h.jr.err
+	}
+	return nil
+}
+
+// Report returns the job report (nil until Done).
+func (h *JobHandle) Report() *Report {
+	if !h.Done() {
+		return nil
+	}
+	return buildReport(h.jr)
+}
+
+// JobTracker schedules tasks onto TaskTrackers, preferring data-local
+// assignments using the NameNode's block locations, and handles retries,
+// tracker loss and speculative execution.
+type JobTracker struct {
+	mc  *MRCluster
+	rng *sim.Rand
+
+	trackers   map[cluster.NodeID]*TaskTracker
+	hostToNode map[string]cluster.NodeID
+
+	jobs   []*jobRun
+	jobSeq int
+	faults []FaultSpec
+
+	// Stats for experiments.
+	TotalTrackerLosses int
+}
+
+func newJobTracker(mc *MRCluster, rng *sim.Rand) *JobTracker {
+	jt := &JobTracker{
+		mc:         mc,
+		rng:        rng,
+		trackers:   map[cluster.NodeID]*TaskTracker{},
+		hostToNode: map[string]cluster.NodeID{},
+	}
+	for _, n := range mc.Topology.Nodes() {
+		jt.hostToNode[n.Hostname] = n.ID
+	}
+	return jt
+}
+
+func (jt *JobTracker) start() {
+	jt.mc.Engine.Every(jt.mc.cfg.HeartbeatInterval, func() {
+		jt.checkTrackerLiveness()
+		jt.schedule()
+	})
+}
+
+func (jt *JobTracker) heartbeat(tt *TaskTracker) {
+	tt.lastHeartbeat = jt.mc.Engine.Now()
+	jt.schedule()
+}
+
+func (jt *JobTracker) checkTrackerLiveness() {
+	now := jt.mc.Engine.Now()
+	for _, tt := range jt.mc.trackers {
+		stale := now-tt.lastHeartbeat > jt.mc.cfg.TrackerExpiry
+		if (stale || !tt.alive) && !tt.lostProcessed() {
+			jt.handleTrackerLoss(tt)
+		}
+	}
+}
+
+// lostProcessed reports whether this tracker's loss has been handled since
+// it last started. A live, fresh tracker is trivially "processed".
+func (tt *TaskTracker) lostProcessed() bool { return tt.lossHandled }
+
+// handleTrackerLoss reschedules everything the lost tracker was doing or
+// holding: running attempts die, completed map outputs evaporate, and any
+// reduce attempt that would shuffle from the node must restart.
+func (jt *JobTracker) handleTrackerLoss(tt *TaskTracker) {
+	tt.lossHandled = true
+	tt.alive = false
+	if tt.hbTicker != nil {
+		tt.hbTicker.Stop()
+	}
+	jt.TotalTrackerLosses++
+	for _, jr := range jt.jobs {
+		if jr.state != jobRunning {
+			continue
+		}
+		lostOutputs := false
+		for _, t := range jr.maps {
+			// Kill running attempts on the lost tracker.
+			for _, a := range append([]*attempt(nil), t.attempts...) {
+				if a.tt == tt {
+					jt.killAttempt(a, "tracker lost")
+				}
+			}
+			// Completed map output on the lost node must be recomputed.
+			if t.state == taskDone && t.outputOn == tt.id {
+				t.state = taskPending
+				t.output = nil
+				jr.mapsDone--
+				lostOutputs = true
+			}
+		}
+		for _, t := range jr.reduces {
+			for _, a := range append([]*attempt(nil), t.attempts...) {
+				if a.tt == tt || lostOutputs {
+					jt.killAttempt(a, "shuffle source lost")
+				}
+			}
+		}
+	}
+	jt.schedule()
+}
+
+// killAttempt cancels a running attempt without charging a failure.
+func (jt *JobTracker) killAttempt(a *attempt, reason string) {
+	if a.dead {
+		return
+	}
+	a.dead = true
+	if a.timer != nil {
+		a.timer.Cancel()
+	}
+	jt.releaseSlot(a)
+	a.t.removeAttempt(a)
+	if a.tempPath != "" {
+		_ = jt.mc.DFS.Client(a.tt.id).Remove(a.tempPath, false)
+	}
+	a.t.jr.counters.Inc(mapreduce.CtrKilledTaskAttempts, 1)
+	if a.t.state == taskRunning && len(a.t.attempts) == 0 {
+		a.t.state = taskPending
+	}
+}
+
+func (t *task) removeAttempt(a *attempt) {
+	for i, x := range t.attempts {
+		if x == a {
+			t.attempts = append(t.attempts[:i], t.attempts[i+1:]...)
+			return
+		}
+	}
+}
+
+func (jt *JobTracker) releaseSlot(a *attempt) {
+	if !a.tt.alive {
+		return // slots reset when the tracker restarts
+	}
+	if a.t.isMap {
+		a.tt.mapSlotsUsed--
+	} else {
+		a.tt.reduceSlotsUsed--
+	}
+}
+
+// --- submission ---
+
+func (jt *JobTracker) submit(job *mapreduce.Job) (*JobHandle, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	gw := jt.mc.DFS.Client(GatewayForSubmit)
+	if vfs.Exists(gw, job.OutputPath) {
+		return nil, &vfs.PathError{Op: "submit", Path: job.OutputPath, Err: vfs.ErrExist}
+	}
+	splits, err := jt.computeSplits(job)
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("mrcluster: no input data under %v", job.InputPaths)
+	}
+	jt.jobSeq++
+	jr := &jobRun{
+		id:          fmt.Sprintf("job_%s_%04d", sanitize(job.Name), jt.jobSeq),
+		job:         job,
+		counters:    mapreduce.NewCounters(),
+		submittedAt: jt.mc.Engine.Now(),
+	}
+	for i, s := range splits {
+		jr.maps = append(jr.maps, &task{jr: jr, isMap: true, idx: i, split: s})
+	}
+	for r := 0; r < job.Reducers(); r++ {
+		jr.reduces = append(jr.reduces, &task{jr: jr, idx: r})
+	}
+	jr.handle = &JobHandle{jr: jr}
+	jt.jobs = append(jt.jobs, jr)
+	jt.schedule()
+	return jr.handle, nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// GatewayForSubmit is where job submission runs (the login node).
+const GatewayForSubmit = cluster.NodeID(-1)
+
+// cacheFS overlays a TaskTracker's localised side files on the HDFS
+// client: cached paths are served from node-local memory, everything else
+// passes through (and is metered as usual).
+type cacheFS struct {
+	vfs.FileSystem
+	cache map[string][]byte
+}
+
+func (c *cacheFS) Open(path string) (io.ReadCloser, error) {
+	if data, ok := c.cache[vfs.Clean(path)]; ok {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+	return c.FileSystem.Open(path)
+}
+
+// computeSplits builds one split per HDFS block of each input file, with
+// the block's replica hostnames attached for locality scheduling.
+func (jt *JobTracker) computeSplits(job *mapreduce.Job) ([]mapreduce.FileSplit, error) {
+	client := jt.mc.DFS.Client(GatewayForSubmit)
+	var files []vfs.FileInfo
+	for _, in := range job.InputPaths {
+		if err := vfs.Walk(client, in, func(fi vfs.FileInfo) error {
+			files = append(files, fi)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	var splits []mapreduce.FileSplit
+	for _, f := range files {
+		if f.Size == 0 {
+			continue
+		}
+		locs, err := client.BlockLocations(f.Path)
+		if err != nil {
+			return nil, err
+		}
+		for _, loc := range locs {
+			splits = append(splits, mapreduce.FileSplit{
+				Path:     f.Path,
+				Offset:   loc.Offset,
+				Length:   loc.Length,
+				FileSize: f.Size,
+				Hosts:    loc.Hosts,
+			})
+		}
+	}
+	return splits, nil
+}
+
+// --- scheduling ---
+
+func (jt *JobTracker) orderedTrackers() []*TaskTracker {
+	return jt.mc.trackers // already in node order
+}
+
+// runningMapAttempts counts map attempts currently occupying slots —
+// the concurrent-reader count for the shared-storage contention model.
+func (jt *JobTracker) runningMapAttempts() int {
+	n := 0
+	for _, tt := range jt.mc.trackers {
+		if tt.alive {
+			n += tt.mapSlotsUsed
+		}
+	}
+	return n
+}
+
+// localityRank scores a map task for a tracker: 0 data-local, 1 rack-local,
+// 2 remote.
+func (jt *JobTracker) localityRank(t *task, tt *TaskTracker) int {
+	rank := 2
+	for _, h := range t.split.Hosts {
+		id, ok := jt.hostToNode[h]
+		if !ok {
+			continue
+		}
+		if id == tt.id {
+			return 0
+		}
+		if jt.mc.Topology.RackOf(id) == jt.mc.Topology.RackOf(tt.id) {
+			rank = 1
+		}
+	}
+	return rank
+}
+
+func (jt *JobTracker) schedule() {
+	// Map assignment in three locality rounds: first give every free slot
+	// its data-local tasks, then rack-local, then anything. Assigning
+	// strictly by rank keeps a slot from greedily stealing a task that is
+	// local to another node — the matching that makes HDFS data locality
+	// pay off.
+	for rank := 0; rank <= 2; rank++ {
+		for _, tt := range jt.orderedTrackers() {
+			if !tt.alive {
+				continue
+			}
+			for tt.mapSlotsUsed < jt.mc.cfg.MapSlotsPerNode {
+				best := jt.pickMapTaskAtRank(tt, rank)
+				if best == nil {
+					break
+				}
+				jt.startMapAttempt(best, tt, false)
+			}
+		}
+	}
+	// Reduce assignment: only once a job's maps are all complete.
+	for _, tt := range jt.orderedTrackers() {
+		if !tt.alive {
+			continue
+		}
+		for tt.reduceSlotsUsed < jt.mc.cfg.ReduceSlotsPerNode {
+			var pick *task
+			for _, jr := range jt.jobs {
+				if jr.state != jobRunning || jr.mapsDone < len(jr.maps) {
+					continue
+				}
+				for _, t := range jr.reduces {
+					if t.state == taskPending {
+						pick = t
+						break
+					}
+				}
+				if pick != nil {
+					break
+				}
+			}
+			if pick == nil {
+				break
+			}
+			jt.startReduceAttempt(pick, tt, false)
+		}
+	}
+	if jt.mc.cfg.Speculative {
+		jt.speculate()
+	}
+}
+
+func (jt *JobTracker) pickMapTaskAtRank(tt *TaskTracker, rank int) *task {
+	for _, jr := range jt.jobs {
+		if jr.state != jobRunning {
+			continue
+		}
+		for _, t := range jr.maps {
+			if t.state != taskPending {
+				continue
+			}
+			if jt.localityRank(t, tt) <= rank {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// slowdown returns the straggler multiplier for a node.
+func (jt *JobTracker) slowdown(id cluster.NodeID) float64 {
+	if f, ok := jt.mc.cfg.NodeSlowdown[id]; ok && f > 0 {
+		return f
+	}
+	return 1
+}
+
+// pickFault returns the armed fault for a job attempt, if it fires.
+func (jt *JobTracker) pickFault(jr *jobRun) *FaultSpec {
+	for i := range jt.faults {
+		f := &jt.faults[i]
+		if f.JobName == jr.job.Name && jt.rng.Bernoulli(f.Probability) {
+			return f
+		}
+	}
+	return nil
+}
+
+// --- map attempts ---
+
+func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool) {
+	jr := t.jr
+	tt.mapSlotsUsed++
+	t.attemptSeq++
+	a := &attempt{
+		t: t, tt: tt, seq: t.attemptSeq,
+		speculative: speculative,
+		locality:    jt.localityRank(t, tt),
+		startedAt:   jt.mc.Engine.Now(),
+	}
+	t.attempts = append(t.attempts, a)
+	t.state = taskRunning
+	jr.counters.Inc(mapreduce.CtrLaunchedMaps, 1)
+	if speculative {
+		jr.counters.Inc(mapreduce.CtrSpeculativeLaunch, 1)
+	}
+
+	// Execute the user code now (real data, exact results); the modelled
+	// duration decides when the completion event lands.
+	client := jt.mc.DFS.Client(tt.id)
+	var taskFS vfs.FileSystem = client
+	if jt.mc.cfg.DistributedCache && len(jr.job.SideFiles) > 0 {
+		// Localise side files once per tracker; tasks then read the node-
+		// local copy without touching HDFS.
+		for _, p := range jr.job.SideFiles {
+			cp := vfs.Clean(p)
+			if _, ok := tt.sideCache[cp]; ok {
+				continue
+			}
+			data, err := vfs.ReadFile(client, cp) // charged to this attempt
+			if err != nil {
+				continue // the task will surface the error itself
+			}
+			tt.sideCache[cp] = data
+		}
+		taskFS = &cacheFS{FileSystem: client, cache: tt.sideCache}
+	}
+	ctx := mapreduce.NewTaskContext(jr.id, a.id(), taskFS, jr.job)
+	split := t.split
+	fetchStart := split.Offset
+	if fetchStart > 0 {
+		fetchStart--
+	}
+	fetchEnd := split.End() + mapreduce.DefaultMaxLineBytes
+	if fetchEnd > split.FileSize {
+		fetchEnd = split.FileSize
+	}
+	window, err := client.ReadRange(split.Path, fetchStart, fetchEnd-fetchStart)
+	var out *mapreduce.MapOutput
+	if err == nil {
+		records := mapreduce.RecordsInRange(window, fetchStart, split.Offset, split.End())
+		out, err = mapreduce.ExecuteMap(ctx, jr.job, records)
+	}
+
+	readCost := client.Meter.ReadTime
+	if jt.mc.cfg.SharedStorage {
+		// HPC layout: the bytes come from the shared parallel filesystem,
+		// contended by every map task running right now.
+		readCost = jt.mc.Cost.ParallelStorageRead(
+			client.Meter.BytesRead(), jt.runningMapAttempts())
+	}
+	duration := readCost +
+		jt.mc.cfg.MapWork.Cost(split.Length, ctx.Counters.Get(mapreduce.CtrMapInputRecords)) +
+		// Parsing side data costs CPU every time it is read, whether the
+		// bytes came from HDFS or from the DistributedCache copy.
+		jt.mc.cfg.MapWork.Cost(ctx.Counters.Get(mapreduce.CtrSideFileBytesRead), 0)
+	if jr.job.NewCombiner != nil {
+		duration += jt.mc.cfg.CombineWork.Cost(0, ctx.Counters.Get(mapreduce.CtrCombineInputRecords))
+	}
+	if out != nil {
+		duration += jt.mc.Cost.DiskWrite(out.Bytes())
+	}
+	duration = time.Duration(float64(duration) * jt.slowdown(tt.id))
+	a.expectedEnd = a.startedAt + duration
+
+	if fault := jt.pickFault(jr); fault != nil && err == nil {
+		at := time.Duration(float64(duration) * fault.AfterFraction)
+		crash := fault.CrashDaemons
+		a.timer = jt.mc.Engine.After(at, func() {
+			jt.failMapAttempt(a, errors.New("injected task error (heap exhaustion)"), crash)
+		})
+		return
+	}
+	if err != nil {
+		a.timer = jt.mc.Engine.After(duration/2, func() {
+			jt.failMapAttempt(a, err, false)
+		})
+		return
+	}
+	meter := client.Meter
+	a.timer = jt.mc.Engine.After(duration, func() {
+		jt.completeMapAttempt(a, out, ctx, meter, duration)
+	})
+}
+
+func (jt *JobTracker) completeMapAttempt(a *attempt, out *mapreduce.MapOutput, ctx *mapreduce.TaskContext, meter interface{ BytesRead() int64 }, dur time.Duration) {
+	t, jr := a.t, a.t.jr
+	if a.dead || !a.tt.alive || t.state == taskDone || jr.state != jobRunning {
+		return
+	}
+	a.dead = true
+	jt.releaseSlot(a)
+	t.removeAttempt(a)
+	// First finisher wins; kill the sibling attempt.
+	for _, sib := range append([]*attempt(nil), t.attempts...) {
+		jt.killAttempt(sib, "sibling finished first")
+	}
+	t.state = taskDone
+	t.output = out
+	t.outputOn = a.tt.id
+	a.tt.mapOutputs[outputKey{job: jr.id, m: t.idx}] = out
+	jr.mapsDone++
+	jr.mapDurations = append(jr.mapDurations, dur)
+	jr.counters.Merge(ctx.Counters)
+	jr.counters.Inc(mapreduce.CtrHDFSBytesRead, meter.BytesRead())
+	if a.speculative {
+		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
+	}
+	switch a.locality {
+	case 0:
+		jr.counters.Inc(mapreduce.CtrDataLocalMaps, 1)
+	case 1:
+		jr.counters.Inc(mapreduce.CtrRackLocalMaps, 1)
+	default:
+		jr.counters.Inc(mapreduce.CtrRemoteMaps, 1)
+	}
+	if jr.mapsDone == len(jr.maps) && jr.mapsDoneAt == 0 {
+		jr.mapsDoneAt = jt.mc.Engine.Now()
+	}
+	jt.schedule()
+}
+
+func (jt *JobTracker) failMapAttempt(a *attempt, cause error, crashDaemons bool) {
+	t, jr := a.t, a.t.jr
+	if a.dead || jr.state != jobRunning {
+		return
+	}
+	a.dead = true
+	jt.releaseSlot(a)
+	t.removeAttempt(a)
+	jr.counters.Inc(mapreduce.CtrFailedMaps, 1)
+	jr.counters.Inc(mapreduce.CtrTaskRetries, 1)
+	t.failures++
+	if len(t.attempts) == 0 && t.state != taskDone {
+		t.state = taskPending
+	}
+	if crashDaemons {
+		// The leaky attempt takes the daemons with it: the TaskTracker
+		// dies now; the co-located DataNode follows.
+		jt.mc.KillTaskTracker(a.tt.id)
+		if dn := jt.mc.DFS.DataNode(a.tt.id); dn != nil {
+			dn.Kill()
+		}
+	}
+	if t.failures >= jt.mc.cfg.MaxAttempts {
+		jt.failJob(jr, fmt.Errorf("task %s failed %d times: %w", t.id(), t.failures, cause))
+		return
+	}
+	jt.schedule()
+}
+
+// --- reduce attempts ---
+
+func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative bool) {
+	jr := t.jr
+	// Verify every map output is still reachable; a lost tracker between
+	// map completion and now sends those maps back to pending.
+	missing := false
+	for _, m := range jr.maps {
+		if m.state != taskDone {
+			missing = true
+			continue
+		}
+		holder := jt.mc.TaskTracker(m.outputOn)
+		if holder == nil || !holder.alive || m.output == nil {
+			m.state = taskPending
+			m.output = nil
+			jr.mapsDone--
+			missing = true
+		}
+	}
+	if missing {
+		jt.schedule()
+		return
+	}
+
+	tt.reduceSlotsUsed++
+	t.attemptSeq++
+	a := &attempt{
+		t: t, tt: tt, seq: t.attemptSeq,
+		speculative: speculative,
+		startedAt:   jt.mc.Engine.Now(),
+	}
+	t.attempts = append(t.attempts, a)
+	t.state = taskRunning
+	jr.counters.Inc(mapreduce.CtrLaunchedReduces, 1)
+	if speculative {
+		jr.counters.Inc(mapreduce.CtrSpeculativeLaunch, 1)
+	}
+
+	// Shuffle cost: fetch this reducer's partition from every map node,
+	// ShuffleParallelism streams at a time. With CompressShuffle the wire
+	// (and map-side disk) carries the real gzip size instead of raw bytes,
+	// and both ends pay compression CPU.
+	var runs [][]mapreduce.Pair
+	var perSource []time.Duration
+	var shuffleBytes, rawBytes, shuffleRecords int64
+	for _, m := range jr.maps {
+		part := m.output.Partitions[t.idx]
+		runs = append(runs, part)
+		var b int64
+		for _, p := range part {
+			b += p.Bytes()
+		}
+		rawBytes += b
+		wire := b
+		if jt.mc.cfg.CompressShuffle && b > 0 {
+			wire = gzipSize(part)
+		}
+		shuffleBytes += wire
+		shuffleRecords += int64(len(part))
+		if wire > 0 {
+			src := m.outputOn
+			perSource = append(perSource,
+				jt.mc.Cost.DiskRead(wire)+jt.mc.Cost.Transfer(jt.mc.Topology.Distance(src, tt.id), wire))
+		}
+	}
+	shuffleTime := parallelTime(perSource, jt.mc.cfg.ShuffleParallelism)
+	if jt.mc.cfg.CompressShuffle {
+		// Compress at the map side, decompress at the reduce side.
+		shuffleTime += jt.mc.cfg.CompressWork.Cost(2*rawBytes, 0)
+	}
+
+	client := jt.mc.DFS.Client(tt.id)
+	ctx := mapreduce.NewTaskContext(jr.id, a.id(), client, jr.job)
+	ctx.Counters.Inc(mapreduce.CtrShuffleBytes, shuffleBytes)
+	var buf bytes.Buffer
+	_, err := mapreduce.ExecuteReduce(ctx, jr.job, runs, &buf)
+	if err != nil {
+		a.timer = jt.mc.Engine.After(shuffleTime, func() {
+			jt.failReduceAttempt(a, err)
+		})
+		return
+	}
+	// Commit protocol: write to a temporary attempt file now, rename to
+	// the final part file at completion (Hadoop's OutputCommitter).
+	a.tempPath = vfs.Join(jr.job.OutputPath, "_temporary", a.id())
+	if werr := vfs.WriteFile(client, a.tempPath, buf.Bytes()); werr != nil {
+		a.timer = jt.mc.Engine.After(shuffleTime, func() {
+			jt.failReduceAttempt(a, werr)
+		})
+		return
+	}
+	duration := shuffleTime +
+		jt.mc.cfg.ReduceWork.Cost(shuffleBytes, shuffleRecords) +
+		client.Meter.WriteTime
+	duration = time.Duration(float64(duration) * jt.slowdown(tt.id))
+	a.expectedEnd = a.startedAt + duration
+	written := client.Meter.BytesWritten
+	a.timer = jt.mc.Engine.After(duration, func() {
+		jt.completeReduceAttempt(a, ctx, written, duration)
+	})
+}
+
+// gzipSize returns the real gzip-compressed size of a partition's pairs —
+// the wire bytes a compressed shuffle actually moves.
+func gzipSize(pairs []mapreduce.Pair) int64 {
+	var cw countWriter
+	zw := gzip.NewWriter(&cw)
+	for _, p := range pairs {
+		zw.Write([]byte(p.Key))
+		zw.Write(p.Val)
+	}
+	zw.Close()
+	return cw.n
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// parallelTime models n transfers served k at a time: total work divided
+// by effective parallelism, but never less than the longest single fetch.
+func parallelTime(costs []time.Duration, k int) time.Duration {
+	if len(costs) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, c := range costs {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if k > len(costs) {
+		k = len(costs)
+	}
+	if k < 1 {
+		k = 1
+	}
+	t := sum / time.Duration(k)
+	if t < max {
+		t = max
+	}
+	return t
+}
+
+func (jt *JobTracker) completeReduceAttempt(a *attempt, ctx *mapreduce.TaskContext, bytesWritten int64, dur time.Duration) {
+	t, jr := a.t, a.t.jr
+	if a.dead || !a.tt.alive || t.state == taskDone || jr.state != jobRunning {
+		return
+	}
+	a.dead = true
+	jt.releaseSlot(a)
+	t.removeAttempt(a)
+	for _, sib := range append([]*attempt(nil), t.attempts...) {
+		jt.killAttempt(sib, "sibling finished first")
+	}
+	// Commit: rename the attempt file to the final part file.
+	client := jt.mc.DFS.Client(a.tt.id)
+	final := vfs.Join(jr.job.OutputPath, mapreduce.PartitionName(t.idx))
+	if err := client.Rename(a.tempPath, final); err != nil {
+		jt.failJob(jr, fmt.Errorf("commit of %s: %w", a.id(), err))
+		return
+	}
+	a.tempPath = ""
+	t.state = taskDone
+	jr.reducesDone++
+	jr.reduceDurations = append(jr.reduceDurations, dur)
+	jr.counters.Merge(ctx.Counters)
+	jr.counters.Inc(mapreduce.CtrHDFSBytesWritten, bytesWritten)
+	if a.speculative {
+		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
+	}
+	if jr.reducesDone == len(jr.reduces) {
+		jt.finishJob(jr)
+	} else {
+		jt.schedule()
+	}
+}
+
+func (jt *JobTracker) failReduceAttempt(a *attempt, cause error) {
+	t, jr := a.t, a.t.jr
+	if a.dead || jr.state != jobRunning {
+		return
+	}
+	a.dead = true
+	jt.releaseSlot(a)
+	t.removeAttempt(a)
+	if a.tempPath != "" {
+		_ = jt.mc.DFS.Client(a.tt.id).Remove(a.tempPath, false)
+		a.tempPath = ""
+	}
+	jr.counters.Inc(mapreduce.CtrFailedReduces, 1)
+	jr.counters.Inc(mapreduce.CtrTaskRetries, 1)
+	t.failures++
+	if len(t.attempts) == 0 && t.state != taskDone {
+		t.state = taskPending
+	}
+	if t.failures >= jt.mc.cfg.MaxAttempts {
+		jt.failJob(jr, fmt.Errorf("task %s failed %d times: %w", t.id(), t.failures, cause))
+		return
+	}
+	jt.schedule()
+}
+
+// --- speculation ---
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func (jt *JobTracker) speculate() {
+	now := jt.mc.Engine.Now()
+	for _, jr := range jt.jobs {
+		if jr.state != jobRunning {
+			continue
+		}
+		launch := func(tasks []*task, completed []time.Duration, isMap bool) {
+			if len(completed) < 3 {
+				return
+			}
+			med := median(completed)
+			if med == 0 {
+				return
+			}
+			threshold := time.Duration(float64(med) * jt.mc.cfg.SpeculativeThreshold)
+			for _, t := range tasks {
+				if t.state != taskRunning || len(t.attempts) != 1 {
+					continue
+				}
+				a := t.attempts[0]
+				if now-a.startedAt < threshold {
+					continue
+				}
+				// Find a free slot on a different node.
+				for _, tt := range jt.orderedTrackers() {
+					if !tt.alive || tt.id == a.tt.id {
+						continue
+					}
+					if isMap && tt.mapSlotsUsed < jt.mc.cfg.MapSlotsPerNode {
+						jt.startMapAttempt(t, tt, true)
+						break
+					}
+					if !isMap && tt.reduceSlotsUsed < jt.mc.cfg.ReduceSlotsPerNode {
+						jt.startReduceAttempt(t, tt, true)
+						break
+					}
+				}
+			}
+		}
+		launch(jr.maps, jr.mapDurations, true)
+		launch(jr.reduces, jr.reduceDurations, false)
+	}
+}
+
+// --- terminal states ---
+
+func (jt *JobTracker) finishJob(jr *jobRun) {
+	// Map outputs are intermediate data; drop them from tracker disks.
+	for _, tt := range jt.mc.trackers {
+		for k := range tt.mapOutputs {
+			if k.job == jr.id {
+				delete(tt.mapOutputs, k)
+			}
+		}
+	}
+	client := jt.mc.DFS.Client(GatewayForSubmit)
+	_ = client.Remove(vfs.Join(jr.job.OutputPath, "_temporary"), true)
+	_ = vfs.WriteFile(client, vfs.Join(jr.job.OutputPath, "_SUCCESS"), nil)
+	jr.state = jobSucceeded
+	jr.finishedAt = jt.mc.Engine.Now()
+	jt.schedule()
+}
+
+func (jt *JobTracker) failJob(jr *jobRun, cause error) {
+	jr.state = jobFailed
+	jr.err = cause
+	jr.finishedAt = jt.mc.Engine.Now()
+	for _, t := range append(append([]*task(nil), jr.maps...), jr.reduces...) {
+		for _, a := range append([]*attempt(nil), t.attempts...) {
+			jt.killAttempt(a, "job failed")
+		}
+	}
+	jt.schedule()
+}

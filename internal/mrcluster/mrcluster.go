@@ -1,0 +1,264 @@
+// Package mrcluster is the distributed MapReduce runtime (Hadoop MRv1
+// architecture): a JobTracker that schedules map tasks for data locality
+// using block locations from the NameNode, TaskTrackers with map/reduce
+// slots that heartbeat and can crash, a shuffle whose cost is modelled on
+// the cluster network, task retries, speculative execution and job
+// reports. It runs entirely on the sim engine: user map/reduce code
+// executes for real over real HDFS bytes, while durations come from the
+// cost model — so results are exact and performance is deterministic.
+package mrcluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+)
+
+// Config tunes the runtime. Zero values take Hadoop-1.x-flavoured defaults.
+type Config struct {
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	MaxAttempts        int
+	// Speculative enables speculative execution of straggling tasks.
+	Speculative bool
+	// SpeculativeThreshold is the slowdown versus the median completed
+	// task duration beyond which a backup attempt launches (default 1.5).
+	SpeculativeThreshold float64
+	// MapWork / ReduceWork model per-task CPU cost. CombineWork is the
+	// extra map-side cost per map-output record when a combiner runs —
+	// the "increased map task run time" half of the combiner trade-off.
+	MapWork     cluster.CPUWork
+	ReduceWork  cluster.CPUWork
+	CombineWork cluster.CPUWork
+	// SharedStorage models the paper's Figure 1(a) HPC layout: compute
+	// nodes read input from a shared parallel filesystem across the
+	// interconnect instead of from local HDFS replicas. Reads contend for
+	// the array's aggregate bandwidth; data locality cannot exist.
+	SharedStorage bool
+	// DistributedCache localises each job's side files once per
+	// TaskTracker (Hadoop's DistributedCache): the first task on a node
+	// pays the HDFS read; subsequent tasks read the local copy for free.
+	DistributedCache bool
+	// CompressShuffle gzips map outputs before the shuffle
+	// (mapred.compress.map.output): network bytes drop to the real
+	// compressed size, at a CPU cost per uncompressed byte on both sides.
+	CompressShuffle bool
+	// CompressWork is the per-byte CPU cost of shuffle compression +
+	// decompression (default 6ns/B).
+	CompressWork cluster.CPUWork
+	// ShuffleParallelism is the number of concurrent fetch streams per
+	// reduce task (Hadoop's parallel copies, default 5).
+	ShuffleParallelism int
+	// HeartbeatInterval and TrackerExpiry govern TaskTracker liveness.
+	HeartbeatInterval time.Duration
+	TrackerExpiry     time.Duration
+	// NodeSlowdown multiplies task durations on specific nodes (straggler
+	// injection for the speculative-execution experiments).
+	NodeSlowdown map[cluster.NodeID]float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MapSlotsPerNode <= 0 {
+		c.MapSlotsPerNode = 2
+	}
+	if c.ReduceSlotsPerNode <= 0 {
+		c.ReduceSlotsPerNode = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.SpeculativeThreshold <= 0 {
+		c.SpeculativeThreshold = 1.5
+	}
+	if c.MapWork == (cluster.CPUWork{}) {
+		c.MapWork = cluster.DefaultMapWork()
+	}
+	if c.ReduceWork == (cluster.CPUWork{}) {
+		c.ReduceWork = cluster.DefaultReduceWork()
+	}
+	if c.ShuffleParallelism <= 0 {
+		c.ShuffleParallelism = 5
+	}
+	if c.CombineWork == (cluster.CPUWork{}) {
+		c.CombineWork = cluster.CPUWork{PerRecord: 150}
+	}
+	if c.CompressWork == (cluster.CPUWork{}) {
+		c.CompressWork = cluster.CPUWork{PerByte: 6}
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 3 * time.Second
+	}
+	if c.TrackerExpiry <= 0 {
+		c.TrackerExpiry = 30 * time.Second
+	}
+	return c
+}
+
+// TaskTracker runs task attempts on one node. Its map outputs live on the
+// node's local disk: if the tracker dies, completed map work is lost and
+// must be re-executed elsewhere — the failure mode behind the paper's
+// first-semester meltdown.
+type TaskTracker struct {
+	id   cluster.NodeID
+	node *cluster.Node
+
+	alive           bool
+	lossHandled     bool
+	mapSlotsUsed    int
+	reduceSlotsUsed int
+	lastHeartbeat   sim.Time
+
+	// mapOutputs holds completed map outputs keyed by (job, mapIndex).
+	mapOutputs map[outputKey]*mapreduce.MapOutput
+
+	// sideCache holds side files localised by the DistributedCache,
+	// keyed by path. Lost when the tracker dies.
+	sideCache map[string][]byte
+
+	hbTicker *sim.Ticker
+}
+
+type outputKey struct {
+	job string
+	m   int
+}
+
+// ID returns the node the tracker runs on.
+func (tt *TaskTracker) ID() cluster.NodeID { return tt.id }
+
+// Hostname returns the tracker's machine name.
+func (tt *TaskTracker) Hostname() string { return tt.node.Hostname }
+
+// Alive reports whether the daemon is running.
+func (tt *TaskTracker) Alive() bool { return tt.alive }
+
+// FaultSpec injects runtime errors into a job's map attempts — the
+// "run time errors that created memory leaks ... and consequently crashed
+// the task tracker and data node daemons" of the paper's Fall 2012 story.
+type FaultSpec struct {
+	// JobName selects the job whose attempts misbehave.
+	JobName string
+	// Probability is the chance each map attempt hits the fault.
+	Probability float64
+	// CrashDaemons, when set, kills the TaskTracker (and the co-located
+	// DataNode) instead of merely failing the attempt.
+	CrashDaemons bool
+	// AfterFraction is how far through the attempt the fault strikes.
+	AfterFraction float64
+}
+
+// MRCluster bundles the JobTracker and one TaskTracker per node over an
+// existing MiniDFS.
+type MRCluster struct {
+	Engine   *sim.Engine
+	Topology *cluster.Topology
+	Cost     cluster.CostModel
+	DFS      *hdfs.MiniDFS
+	JT       *JobTracker
+
+	trackers []*TaskTracker
+	cfg      Config
+}
+
+// NewMRCluster starts TaskTrackers on every node of the DFS topology.
+func NewMRCluster(dfs *hdfs.MiniDFS, cfg Config, seed int64) *MRCluster {
+	cfg = cfg.withDefaults()
+	mc := &MRCluster{
+		Engine:   dfs.Engine,
+		Topology: dfs.Topology,
+		Cost:     dfs.Cost,
+		DFS:      dfs,
+		cfg:      cfg,
+	}
+	jt := newJobTracker(mc, sim.NewRand(seed).Derive("jobtracker"))
+	mc.JT = jt
+	for _, n := range dfs.Topology.Nodes() {
+		tt := &TaskTracker{
+			id:         n.ID,
+			node:       n,
+			mapOutputs: map[outputKey]*mapreduce.MapOutput{},
+		}
+		mc.trackers = append(mc.trackers, tt)
+		jt.trackers[n.ID] = tt
+		mc.StartTaskTracker(n.ID)
+	}
+	jt.start()
+	return mc
+}
+
+// Config returns the effective runtime configuration.
+func (mc *MRCluster) Config() Config { return mc.cfg }
+
+// TaskTrackers returns the trackers in node order.
+func (mc *MRCluster) TaskTrackers() []*TaskTracker { return mc.trackers }
+
+// TaskTracker returns the tracker on a node, or nil.
+func (mc *MRCluster) TaskTracker(id cluster.NodeID) *TaskTracker {
+	if int(id) < 0 || int(id) >= len(mc.trackers) {
+		return nil
+	}
+	return mc.trackers[id]
+}
+
+// StartTaskTracker (re)starts the tracker daemon on a node.
+func (mc *MRCluster) StartTaskTracker(id cluster.NodeID) {
+	tt := mc.TaskTracker(id)
+	if tt == nil || tt.alive {
+		return
+	}
+	tt.alive = true
+	tt.lossHandled = false
+	tt.lastHeartbeat = mc.Engine.Now()
+	tt.mapSlotsUsed, tt.reduceSlotsUsed = 0, 0
+	tt.mapOutputs = map[outputKey]*mapreduce.MapOutput{}
+	tt.sideCache = map[string][]byte{}
+	tt.hbTicker = mc.Engine.Every(mc.cfg.HeartbeatInterval, func() {
+		if tt.alive {
+			mc.JT.heartbeat(tt)
+		}
+	})
+}
+
+// KillTaskTracker crashes the tracker daemon on a node. Map outputs on the
+// node become unreachable; the JobTracker notices via heartbeat expiry.
+func (mc *MRCluster) KillTaskTracker(id cluster.NodeID) {
+	tt := mc.TaskTracker(id)
+	if tt == nil || !tt.alive {
+		return
+	}
+	tt.alive = false
+	if tt.hbTicker != nil {
+		tt.hbTicker.Stop()
+	}
+}
+
+// InjectFault arms a fault for future attempts of a job.
+func (mc *MRCluster) InjectFault(f FaultSpec) { mc.JT.faults = append(mc.JT.faults, f) }
+
+// Submit queues a job for execution and returns its handle.
+func (mc *MRCluster) Submit(job *mapreduce.Job) (*JobHandle, error) {
+	return mc.JT.submit(job)
+}
+
+// Run submits a job and drives the simulation until it finishes.
+func (mc *MRCluster) Run(job *mapreduce.Job) (*Report, error) {
+	h, err := mc.Submit(job)
+	if err != nil {
+		return nil, err
+	}
+	guard := 0
+	for !h.Done() {
+		if !mc.Engine.Step() {
+			return nil, fmt.Errorf("mrcluster: simulation stalled with job %q incomplete", job.Name)
+		}
+		guard++
+		if guard > 50_000_000 {
+			return nil, fmt.Errorf("mrcluster: job %q exceeded event budget", job.Name)
+		}
+	}
+	return h.Report(), h.Err()
+}

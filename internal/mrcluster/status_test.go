@@ -1,0 +1,68 @@
+package mrcluster_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hdfs"
+	"repro/internal/mrcluster"
+)
+
+func TestStatusPageDuringAndAfterJob(t *testing.T) {
+	rig := newRig(t, 4, 1, hdfs.Config{BlockSize: 16 << 10}, mrcluster.Config{})
+	rig.stage(t, "/in/data.txt", corpus(8000))
+	h, err := rig.mc.Submit(wordCountJob("/in", "/out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.eng.Advance(2 * time.Second)
+	mid := rig.mc.StatusPage()
+	if !strings.Contains(mid, "RUNNING") {
+		t.Fatalf("status page should show a running job:\n%s", mid)
+	}
+	if !strings.Contains(mid, "TaskTrackers: 4/4 alive") {
+		t.Fatalf("tracker summary wrong:\n%s", mid)
+	}
+	for !h.Done() {
+		if !rig.eng.Step() {
+			t.Fatal("stalled")
+		}
+	}
+	done := rig.mc.StatusPage()
+	if !strings.Contains(done, "SUCCEEDED") || !strings.Contains(done, "100%") {
+		t.Fatalf("status page after completion:\n%s", done)
+	}
+	if rig.mc.JT.CompletedJobCounters() == nil {
+		t.Fatal("no completed-job counters")
+	}
+}
+
+func TestStatusPageShowsDeadTracker(t *testing.T) {
+	rig := newRig(t, 3, 1, hdfs.Config{}, mrcluster.Config{})
+	rig.mc.KillTaskTracker(1)
+	page := rig.mc.StatusPage()
+	if !strings.Contains(page, "TaskTrackers: 2/3 alive") || !strings.Contains(page, "dead") {
+		t.Fatalf("dead tracker not visible:\n%s", page)
+	}
+}
+
+func TestJobsListStates(t *testing.T) {
+	rig := newRig(t, 4, 1, hdfs.Config{BlockSize: 64 << 10}, mrcluster.Config{MaxAttempts: 2})
+	rig.stage(t, "/in/data.txt", corpus(50))
+	// One job fails, one succeeds.
+	rig.mc.InjectFault(mrcluster.FaultSpec{JobName: "wordcount", Probability: 1, AfterFraction: 0.5})
+	_, _ = rig.mc.Run(wordCountJob("/in", "/out-fail"))
+	okJob := wordCountJob("/in", "/out-ok")
+	okJob.Name = "wordcount-ok"
+	if _, err := rig.mc.Run(okJob); err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, js := range rig.mc.JT.Jobs() {
+		states[js.Name] = js.State
+	}
+	if states["wordcount"] != "FAILED" || states["wordcount-ok"] != "SUCCEEDED" {
+		t.Fatalf("states = %v", states)
+	}
+}

@@ -1,0 +1,29 @@
+package serial
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func BenchmarkWordCountStandalone(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("the quick brown fox jumps over the lazy dog\n")
+	}
+	data := []byte(sb.String())
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fs := vfs.NewMemFS()
+		if err := vfs.WriteFile(fs, "/in/d.txt", data); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := (&Runner{FS: fs, Parallelism: 4}).Run(wordCountJob("/in", "/out")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package serial implements the standalone MapReduce runner of the
+// course's first assignment: the full programming model (splits, sort,
+// combiners, counters) executed directly against a plain filesystem with
+// no HDFS and no cluster — "using only serial Java commands without any
+// HDFS support", in the paper's words. Mappers may optionally run on real
+// goroutines, but there is no distribution, no locality and no fault
+// tolerance; that contrast is the pedagogical point.
+package serial
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/vfs"
+)
+
+// Runner executes jobs against a single filesystem.
+type Runner struct {
+	// FS is the filesystem holding inputs, side files and outputs.
+	FS vfs.FileSystem
+	// Parallelism is the number of concurrent map tasks (default 1: fully
+	// serial, matching the assignment's baseline).
+	Parallelism int
+}
+
+// Report summarises one standalone run.
+type Report struct {
+	JobName     string
+	MapTasks    int
+	ReduceTasks int
+	Counters    *mapreduce.Counters
+	// Elapsed is real wall-clock time; the standalone runner does no
+	// performance modelling.
+	Elapsed time.Duration
+}
+
+// String renders the report in the style of a Hadoop job summary.
+func (r *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Job %s completed successfully (standalone)\n", r.JobName)
+	fmt.Fprintf(&b, "  Launched map tasks=%d\n", r.MapTasks)
+	fmt.Fprintf(&b, "  Launched reduce tasks=%d\n", r.ReduceTasks)
+	fmt.Fprintf(&b, "  Elapsed=%v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  Counters:\n%s", r.Counters)
+	return b.String()
+}
+
+// Run executes the job to completion, writing part-r-NNNNN files and a
+// _SUCCESS marker under job.OutputPath.
+func (r *Runner) Run(job *mapreduce.Job) (*Report, error) {
+	start := time.Now()
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if r.FS == nil {
+		return nil, fmt.Errorf("serial: runner has no filesystem")
+	}
+	if vfs.Exists(r.FS, job.OutputPath) {
+		return nil, &vfs.PathError{Op: "run", Path: job.OutputPath, Err: vfs.ErrExist}
+	}
+	splits, err := mapreduce.ComputeSplits(r.FS, job.InputPaths, job.EffectiveSplitSize())
+	if err != nil {
+		return nil, fmt.Errorf("serial: computing splits: %w", err)
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("serial: no input data under %v", job.InputPaths)
+	}
+
+	total := mapreduce.NewCounters()
+	nReduce := job.Reducers()
+
+	// Map phase: each task owns its context and counters; results are
+	// merged afterwards so there is no cross-task locking.
+	type mapResult struct {
+		out *mapreduce.MapOutput
+		ctx *mapreduce.TaskContext
+		err error
+	}
+	results := make([]mapResult, len(splits))
+	par := r.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, split := range splits {
+		wg.Add(1)
+		go func(i int, split mapreduce.FileSplit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ctx := mapreduce.NewTaskContext(job.Name, fmt.Sprintf("attempt_m_%06d_0", i), r.FS, job)
+			recs, bytesRead, err := mapreduce.ReadSplitRecords(r.FS, split)
+			if err != nil {
+				results[i] = mapResult{err: fmt.Errorf("split %v: %w", split, err)}
+				return
+			}
+			ctx.Counters.Inc(mapreduce.CtrFileBytesRead, bytesRead)
+			out, err := mapreduce.ExecuteMap(ctx, job, recs)
+			results[i] = mapResult{out: out, ctx: ctx, err: err}
+		}(i, split)
+	}
+	wg.Wait()
+	runsByPartition := make([][][]mapreduce.Pair, nReduce)
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		total.Merge(res.ctx.Counters)
+		for p, pairs := range res.out.Partitions {
+			runsByPartition[p] = append(runsByPartition[p], pairs)
+		}
+	}
+
+	// Reduce phase, sequential: one output file per reducer.
+	if err := r.FS.Mkdir(job.OutputPath); err != nil {
+		return nil, err
+	}
+	for p := 0; p < nReduce; p++ {
+		ctx := mapreduce.NewTaskContext(job.Name, fmt.Sprintf("attempt_r_%06d_0", p), r.FS, job)
+		var buf bytes.Buffer
+		if _, err := mapreduce.ExecuteReduce(ctx, job, runsByPartition[p], &buf); err != nil {
+			return nil, err
+		}
+		outPath := vfs.Join(job.OutputPath, mapreduce.PartitionName(p))
+		if err := vfs.WriteFile(r.FS, outPath, buf.Bytes()); err != nil {
+			return nil, err
+		}
+		ctx.Counters.Inc(mapreduce.CtrFileBytesWritten, int64(buf.Len()))
+		total.Merge(ctx.Counters)
+	}
+	if err := vfs.WriteFile(r.FS, vfs.Join(job.OutputPath, "_SUCCESS"), nil); err != nil {
+		return nil, err
+	}
+	total.Inc(mapreduce.CtrLaunchedMaps, int64(len(splits)))
+	total.Inc(mapreduce.CtrLaunchedReduces, int64(nReduce))
+
+	return &Report{
+		JobName:     job.Name,
+		MapTasks:    len(splits),
+		ReduceTasks: nReduce,
+		Counters:    total,
+		Elapsed:     time.Since(start),
+	}, nil
+}
+
+// ReadOutput concatenates the part files of a completed job in order,
+// a convenience for tests and examples.
+func ReadOutput(fs vfs.FileSystem, outputPath string) (string, error) {
+	infos, err := fs.List(outputPath)
+	if err != nil {
+		return "", err
+	}
+	var b bytes.Buffer
+	for _, fi := range infos {
+		if fi.IsDir || fi.Name() == "_SUCCESS" {
+			continue
+		}
+		data, err := vfs.ReadFile(fs, fi.Path)
+		if err != nil {
+			return "", err
+		}
+		b.Write(data)
+	}
+	return b.String(), nil
+}

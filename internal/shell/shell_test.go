@@ -1,0 +1,314 @@
+package shell_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/shell"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func newShell(t *testing.T) (*shell.Shell, *hdfs.MiniDFS, *bytes.Buffer) {
+	t.Helper()
+	eng := sim.NewEngine()
+	topo := cluster.NewTopology(cluster.PaperNodeConfig(4, 1))
+	dfs, err := hdfs.NewMiniDFS(eng, topo, hdfs.Options{Seed: 1, Config: hdfs.Config{BlockSize: 1024, Replication: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &bytes.Buffer{}
+	sh := &shell.Shell{
+		FS:    dfs.Client(hdfs.GatewayNode),
+		Local: vfs.NewMemFS(),
+		Out:   out,
+		User:  "student",
+	}
+	return sh, dfs, out
+}
+
+func TestPutLsCatGetRoundTrip(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/home/data.txt", []byte("hello hdfs\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-mkdir", "/user/student"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/home/data.txt", "/user/student/data.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := sh.Run("-ls", "/user/student"); err != nil {
+		t.Fatal(err)
+	}
+	listing := out.String()
+	if !strings.Contains(listing, "Found 1 items") || !strings.Contains(listing, "/user/student/data.txt") {
+		t.Fatalf("ls output:\n%s", listing)
+	}
+	if !strings.Contains(listing, "-rw-r--r--   2") {
+		t.Fatalf("ls should show replication 2:\n%s", listing)
+	}
+	out.Reset()
+	if err := sh.Run("-cat", "/user/student/data.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hello hdfs\n" {
+		t.Fatalf("cat = %q", out.String())
+	}
+	if err := sh.Run("-get", "/user/student/data.txt", "/home/back.txt"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vfs.ReadFile(sh.Local, "/home/back.txt")
+	if err != nil || string(back) != "hello hdfs\n" {
+		t.Fatalf("get round trip: %q err=%v", back, err)
+	}
+}
+
+func TestSetrepAndFsck(t *testing.T) {
+	sh, dfs, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/d.txt", bytes.Repeat([]byte("x"), 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/d.txt", "/d.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-setrep", "3", "/d.txt"); err != nil {
+		t.Fatal(err)
+	}
+	dfs.Engine.Advance(30_000_000_000) // let the monitor add replicas
+	out.Reset()
+	if err := sh.Run("-fsck", "/"); err != nil {
+		t.Fatal(err)
+	}
+	rep := out.String()
+	if !strings.Contains(rep, "is HEALTHY") {
+		t.Fatalf("fsck:\n%s", rep)
+	}
+	out.Reset()
+	if err := sh.Run("-locations", "/d.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 block(s)") {
+		t.Fatalf("locations:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "hosts=node000") && !strings.Contains(out.String(), "node00") {
+		t.Fatalf("locations missing hosts:\n%s", out.String())
+	}
+}
+
+func TestDuCountStat(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/a", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(sh.Local, "/b", make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-mkdir", "/data/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/a", "/data/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/b", "/data/sub/b"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := sh.Run("-count", "/data"); err != nil {
+		t.Fatal(err)
+	}
+	// 2 dirs (/data, /data/sub), 2 files, 30 bytes.
+	if !strings.Contains(out.String(), "2") || !strings.Contains(out.String(), "30") {
+		t.Fatalf("count:\n%s", out.String())
+	}
+	out.Reset()
+	if err := sh.Run("-du", "/data"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/data/sub") {
+		t.Fatalf("du:\n%s", out.String())
+	}
+	out.Reset()
+	if err := sh.Run("-stat", "/data/a"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "regular file, 10 bytes") {
+		t.Fatalf("stat:\n%s", out.String())
+	}
+}
+
+func TestMvRmRmr(t *testing.T) {
+	sh, _, _ := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/f", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/f", "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-mv", "/f", "/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-rm", "/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-mkdir", "/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-rmr", "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(sh.FS, "/d") {
+		t.Fatal("rmr left directory")
+	}
+}
+
+func TestRunScriptAndTranscript(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/data.txt", []byte("a b c\n")); err != nil {
+		t.Fatal(err)
+	}
+	script := `
+# stage and inspect, as in the assignment hand-in
+hadoop fs -mkdir /user/student
+hadoop fs -put /data.txt /user/student/data.txt
+fs -ls /user/student
+-stat /user/student/data.txt
+`
+	if err := sh.RunScript(script); err != nil {
+		t.Fatal(err)
+	}
+	transcript := out.String()
+	for _, want := range []string{"$ hadoop fs -mkdir", "$ hadoop fs -ls", "Found 1 items"} {
+		if !strings.Contains(transcript, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, transcript)
+		}
+	}
+}
+
+func TestScriptStopsOnError(t *testing.T) {
+	sh, _, _ := newShell(t)
+	err := sh.RunScript("-cat /missing\n-mkdir /never")
+	if err == nil {
+		t.Fatal("script with failing command succeeded")
+	}
+	if vfs.Exists(sh.FS, "/never") {
+		t.Fatal("script continued past error")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	sh, _, _ := newShell(t)
+	for _, args := range [][]string{
+		{},
+		{"-frobnicate"},
+		{"-mv", "/only-one"},
+		{"-setrep", "x", "/f"},
+		{"-put", "/just-src"},
+	} {
+		if err := sh.Run(args...); !errors.Is(err, shell.ErrUsage) {
+			t.Fatalf("args %v: want ErrUsage, got %v", args, err)
+		}
+	}
+}
+
+func TestSetrepUnsupportedFS(t *testing.T) {
+	sh := &shell.Shell{FS: vfs.NewMemFS(), Local: vfs.NewMemFS(), Out: &bytes.Buffer{}}
+	if err := sh.Run("-setrep", "2", "/f"); err == nil {
+		t.Fatal("setrep on MemFS should fail")
+	}
+	if err := sh.Run("-fsck"); err == nil {
+		t.Fatal("fsck on MemFS should fail")
+	}
+}
+
+func TestHelpListsCommands(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := sh.Run("-help"); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{"-ls", "-put", "-copyToLocal", "-fsck", "-setrep"} {
+		if !strings.Contains(out.String(), cmd) {
+			t.Fatalf("help missing %s", cmd)
+		}
+	}
+}
+
+func TestTailTruncates(t *testing.T) {
+	sh, _, out := newShell(t)
+	big := bytes.Repeat([]byte("0123456789abcdef"), 200) // 3200 bytes
+	if err := vfs.WriteFile(sh.Local, "/big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/big", "/big"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := sh.Run("-tail", "/big"); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1024 {
+		t.Fatalf("tail returned %d bytes, want 1024", out.Len())
+	}
+}
+
+func TestLsrRecursive(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-mkdir", "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/f", "/a/b/c/deep.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := sh.Run("-lsr", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	listing := out.String()
+	for _, want := range []string{"/a/b", "/a/b/c", "/a/b/c/deep.txt"} {
+		if !strings.Contains(listing, want) {
+			t.Fatalf("-lsr missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func TestDuOnPlainFile(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/f", bytes.Repeat([]byte("z"), 77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/f", "/file.bin"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := sh.Run("-du", "/file.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "77") {
+		t.Fatalf("-du on file:\n%s", out.String())
+	}
+}
+
+func TestLsOnPlainFile(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/f", "/only.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := sh.Run("-ls", "/only.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/only.txt") || strings.Contains(out.String(), "Found") {
+		t.Fatalf("-ls on file should print one entry without a count:\n%s", out.String())
+	}
+}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.After(time.Duration(j)*time.Millisecond, func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkTickerChurn(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	e.Every(time.Second, func() { n++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Advance(time.Second)
+	}
+}

@@ -1,0 +1,225 @@
+// Package sim provides a deterministic discrete-event simulation core:
+// a virtual clock, an ordered event queue, recurring timers and a seeded
+// random source. Every time-dependent component of the minihadoop stack
+// (heartbeats, block reports, task completions, scheduler cleanup cycles)
+// runs on this engine so that whole-cluster scenarios are reproducible
+// bit-for-bit across runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"time"
+)
+
+// Time is an instant on the virtual clock, expressed as the duration since
+// the engine started. Durations and instants share the same representation,
+// which keeps arithmetic trivial.
+type Time = time.Duration
+
+// Event is a scheduled callback. Events with equal fire times run in the
+// order they were scheduled.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all simulated components are driven from the event loop.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Processed counts events executed, useful as a progress metric and a
+	// guard against runaway simulations.
+	Processed uint64
+	// MaxEvents aborts Run with an error when exceeded (0 = unlimited).
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at the absolute virtual time at. Scheduling in the past
+// (before Now) panics: it always indicates a logic error in a simulation.
+func (e *Engine) Schedule(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return &Timer{engine: e, ev: ev}
+}
+
+// After runs fn after the virtual duration d.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Advance moves the clock forward by d, firing any events that fall within
+// the window. It is the synchronous-caller complement to Run: interactive
+// flows (a shell command, a client upload) compute a modelled cost and then
+// Advance the clock by it.
+func (e *Engine) Advance(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	e.RunUntil(e.now + d)
+	e.now = e.now + 0 // clock already moved by RunUntil
+}
+
+// Step executes the single next pending event, returning false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.fn == nil { // cancelled
+		return e.Step()
+	}
+	e.now = ev.at
+	e.Processed++
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	return true
+}
+
+// RunUntil processes events until the queue is exhausted or the next event
+// would fire after deadline; the clock is left at deadline (or at the last
+// event time if that is later, which cannot happen).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].fn == nil {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if e.queue[0].at > deadline {
+			break
+		}
+		if e.MaxEvents > 0 && e.Processed >= e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d", e.MaxEvents))
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	e.stopped = false
+}
+
+// Run processes events until the queue drains or Stop is called. The clock
+// is left at the time of the last event executed.
+func (e *Engine) Run() {
+	for len(e.queue) > 0 && !e.stopped {
+		if e.MaxEvents > 0 && e.Processed >= e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d", e.MaxEvents))
+		}
+		e.Step()
+	}
+	e.stopped = false
+}
+
+// Stop halts Run after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of live (non-cancelled) events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	engine *Engine
+	ev     *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Reports whether the event was live.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// Ticker fires fn every interval until stopped.
+type Ticker struct {
+	engine   *Engine
+	interval time.Duration
+	fn       func()
+	stopped  bool
+	timer    *Timer
+}
+
+// Every schedules fn to run every interval, first firing after one interval.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.engine.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Cancel()
+	}
+}

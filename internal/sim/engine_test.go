@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(time.Second, func() {
+		e.After(2*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 3*time.Second {
+		t.Fatalf("nested After fired at %v, want 3s", at)
+	}
+}
+
+func TestRunUntilLeavesClockAtDeadline(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(10*time.Second, func() { fired = true })
+	e.RunUntil(5 * time.Second)
+	if fired {
+		t.Fatal("future event fired before deadline")
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+	e.RunUntil(20 * time.Second)
+	if !fired {
+		t.Fatal("event never fired")
+	}
+	if e.Now() != 20*time.Second {
+		t.Fatalf("clock = %v, want 20s", e.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Every(time.Second, func() { n++ })
+	e.Advance(10 * time.Second)
+	if n != 10 {
+		t.Fatalf("ticker fired %d times in 10s, want 10", n)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Advance(time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(time.Second, func() {})
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(time.Second, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first cancel reported dead timer")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel reported live timer")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending events after stop: %d", e.Pending())
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue reported progress")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Every(time.Second, func() {
+		n++
+		if n == 5 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	if n != 5 {
+		t.Fatalf("ran %d events after Stop, want 5", n)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	// Property: however events reschedule each other, observed times during
+	// the run never decrease.
+	e := NewEngine()
+	r := NewRand(42)
+	last := Time(0)
+	ok := true
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		e.After(time.Duration(r.Intn(1000))*time.Millisecond, func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth > 0 {
+				spawn(depth - 1)
+				spawn(depth - 1)
+			}
+		})
+	}
+	spawn(6)
+	e.Run()
+	if !ok {
+		t.Fatal("clock went backwards")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRandDeriveIndependentOfCallOrder(t *testing.T) {
+	// Derive must be a pure function of (parent state, label); two parents
+	// with the same seed deriving the same label get the same stream.
+	a := NewRand(1).Derive("datanode")
+	b := NewRand(1).Derive("datanode")
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("derived streams differ for identical seed+label")
+		}
+	}
+	c := NewRand(1).Derive("tasktracker")
+	d := NewRand(1).Derive("datanode")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	r := NewRand(3)
+	if err := quick.Check(func(lo, hi int16) bool {
+		v := r.IntBetween(int(lo), int(hi))
+		l, h := int(lo), int(hi)
+		if h < l {
+			l, h = h, l
+		}
+		return v >= l && v <= h
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(11)
+	z := r.Zipf(1.2, 1000)
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		counts[z.Uint64()]++
+	}
+	if counts[0] < counts[100] {
+		t.Fatalf("zipf not skewed: rank0=%d rank100=%d", counts[0], counts[100])
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	r := NewRand(5)
+	idx := r.Shuffled(100)
+	seen := make([]bool, 100)
+	for _, v := range idx {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", idx)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,22 @@
+package vfs_test
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/vfs/vfstest"
+)
+
+func TestMemFSConformance(t *testing.T) {
+	vfstest.Run(t, "mem", func(t *testing.T) vfs.FileSystem { return vfs.NewMemFS() })
+}
+
+func TestOsFSConformance(t *testing.T) {
+	vfstest.Run(t, "os", func(t *testing.T) vfs.FileSystem {
+		fs, err := vfs.NewOsFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}

@@ -1,0 +1,247 @@
+package vfs
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FileSystem. It is safe for concurrent use, which
+// lets the serial runner execute mappers in parallel against it.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string][]byte // cleaned path -> contents
+	dirs  map[string]bool   // cleaned path -> exists
+}
+
+var _ FileSystem = (*MemFS)(nil)
+
+// NewMemFS returns an empty in-memory filesystem containing only "/".
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files: make(map[string][]byte),
+		dirs:  map[string]bool{"/": true},
+	}
+}
+
+func (m *MemFS) Create(path string) (io.WriteCloser, error) {
+	p := Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dirs[p] {
+		return nil, &PathError{Op: "create", Path: p, Err: ErrIsDir}
+	}
+	if _, ok := m.files[p]; ok {
+		return nil, &PathError{Op: "create", Path: p, Err: ErrExist}
+	}
+	dir, _ := Split(p)
+	if !m.dirs[dir] {
+		return nil, &PathError{Op: "create", Path: p, Err: ErrNotExist}
+	}
+	return &memWriter{fs: m, path: p}, nil
+}
+
+type memWriter struct {
+	fs     *MemFS
+	path   string
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return w.buf.Write(p)
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.fs.files[w.path] = append([]byte(nil), w.buf.Bytes()...)
+	return nil
+}
+
+func (m *MemFS) Open(path string) (io.ReadCloser, error) {
+	p := Clean(path)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.dirs[p] {
+		return nil, &PathError{Op: "open", Path: p, Err: ErrIsDir}
+	}
+	data, ok := m.files[p]
+	if !ok {
+		return nil, &PathError{Op: "open", Path: p, Err: ErrNotExist}
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+func (m *MemFS) Stat(path string) (FileInfo, error) {
+	p := Clean(path)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.dirs[p] {
+		return FileInfo{Path: p, IsDir: true}, nil
+	}
+	if data, ok := m.files[p]; ok {
+		return FileInfo{Path: p, Size: int64(len(data))}, nil
+	}
+	return FileInfo{}, &PathError{Op: "stat", Path: p, Err: ErrNotExist}
+}
+
+func (m *MemFS) List(path string) ([]FileInfo, error) {
+	p := Clean(path)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.files[p]; ok {
+		return nil, &PathError{Op: "list", Path: p, Err: ErrNotDir}
+	}
+	if !m.dirs[p] {
+		return nil, &PathError{Op: "list", Path: p, Err: ErrNotExist}
+	}
+	var out []FileInfo
+	for fp, data := range m.files {
+		if dir, _ := Split(fp); dir == p {
+			out = append(out, FileInfo{Path: fp, Size: int64(len(data))})
+		}
+	}
+	for dp := range m.dirs {
+		if dp == "/" {
+			continue
+		}
+		if dir, _ := Split(dp); dir == p {
+			out = append(out, FileInfo{Path: dp, IsDir: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func (m *MemFS) Mkdir(path string) error {
+	p := Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mkdirLocked(p)
+}
+
+func (m *MemFS) mkdirLocked(p string) error {
+	if m.dirs[p] {
+		return nil
+	}
+	if _, ok := m.files[p]; ok {
+		return &PathError{Op: "mkdir", Path: p, Err: ErrNotDir}
+	}
+	if p != "/" {
+		dir, _ := Split(p)
+		if err := m.mkdirLocked(dir); err != nil {
+			return err
+		}
+	}
+	m.dirs[p] = true
+	return nil
+}
+
+func (m *MemFS) Remove(path string, recursive bool) error {
+	p := Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[p]; ok {
+		delete(m.files, p)
+		return nil
+	}
+	if !m.dirs[p] {
+		return &PathError{Op: "remove", Path: p, Err: ErrNotExist}
+	}
+	if p == "/" {
+		return &PathError{Op: "remove", Path: p, Err: ErrInvalid}
+	}
+	prefix := p + "/"
+	var children []string
+	for fp := range m.files {
+		if strings.HasPrefix(fp, prefix) {
+			children = append(children, fp)
+		}
+	}
+	var childDirs []string
+	for dp := range m.dirs {
+		if strings.HasPrefix(dp, prefix) {
+			childDirs = append(childDirs, dp)
+		}
+	}
+	if !recursive && (len(children) > 0 || len(childDirs) > 0) {
+		return &PathError{Op: "remove", Path: p, Err: ErrNotEmpty}
+	}
+	for _, fp := range children {
+		delete(m.files, fp)
+	}
+	for _, dp := range childDirs {
+		delete(m.dirs, dp)
+	}
+	delete(m.dirs, p)
+	return nil
+}
+
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	op, np := Clean(oldPath), Clean(newPath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if data, ok := m.files[op]; ok {
+		if _, exists := m.files[np]; exists || m.dirs[np] {
+			return &PathError{Op: "rename", Path: np, Err: ErrExist}
+		}
+		dir, _ := Split(np)
+		if !m.dirs[dir] {
+			return &PathError{Op: "rename", Path: np, Err: ErrNotExist}
+		}
+		m.files[np] = data
+		delete(m.files, op)
+		return nil
+	}
+	if m.dirs[op] {
+		if _, exists := m.files[np]; exists || m.dirs[np] {
+			return &PathError{Op: "rename", Path: np, Err: ErrExist}
+		}
+		prefix := op + "/"
+		moved := map[string][]byte{}
+		for fp, data := range m.files {
+			if strings.HasPrefix(fp, prefix) {
+				moved[np+"/"+fp[len(prefix):]] = data
+				delete(m.files, fp)
+			}
+		}
+		for fp, data := range moved {
+			m.files[fp] = data
+		}
+		movedDirs := []string{}
+		for dp := range m.dirs {
+			if strings.HasPrefix(dp, prefix) {
+				movedDirs = append(movedDirs, dp)
+			}
+		}
+		for _, dp := range movedDirs {
+			delete(m.dirs, dp)
+			m.dirs[np+"/"+dp[len(prefix):]] = true
+		}
+		delete(m.dirs, op)
+		m.dirs[np] = true
+		return nil
+	}
+	return &PathError{Op: "rename", Path: op, Err: ErrNotExist}
+}
+
+// TotalBytes returns the sum of all file sizes (for quota-style tests).
+func (m *MemFS) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, data := range m.files {
+		n += int64(len(data))
+	}
+	return n
+}

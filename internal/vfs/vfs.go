@@ -1,0 +1,241 @@
+// Package vfs defines the filesystem interface shared by every storage
+// backend in the stack: the plain in-memory filesystem used by tests, an
+// OS-backed filesystem rooted at a directory (the "Linux file system" of
+// the paper's serial assignments), and the HDFS client, which implements
+// the same interface so that a MapReduce program written against the
+// serial runner reruns unchanged on a cluster — the exact point of the
+// course's second assignment.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sentinel errors returned by all FileSystem implementations.
+var (
+	ErrNotExist  = errors.New("vfs: file does not exist")
+	ErrExist     = errors.New("vfs: file already exists")
+	ErrIsDir     = errors.New("vfs: is a directory")
+	ErrNotDir    = errors.New("vfs: not a directory")
+	ErrNotEmpty  = errors.New("vfs: directory not empty")
+	ErrInvalid   = errors.New("vfs: invalid path")
+	ErrReadOnly  = errors.New("vfs: read-only filesystem")
+	ErrCorrupt   = errors.New("vfs: data corrupt")
+	ErrUnhealthy = errors.New("vfs: filesystem unhealthy")
+)
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Path        string
+	Size        int64
+	IsDir       bool
+	Replication int   // 0 for non-replicated filesystems
+	BlockSize   int64 // 0 for non-block filesystems
+	ModTime     time.Duration
+}
+
+// Name returns the final path element.
+func (fi FileInfo) Name() string {
+	_, name := Split(fi.Path)
+	return name
+}
+
+// FileSystem is the storage contract. Paths are slash-separated and
+// absolute ("/data/input.txt"). Implementations must be safe for
+// sequential use; concurrency guarantees are implementation-specific.
+type FileSystem interface {
+	// Create opens a new file for writing. It fails if the file exists or
+	// the parent directory is missing.
+	Create(path string) (io.WriteCloser, error)
+	// Open opens an existing file for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Stat describes a file or directory.
+	Stat(path string) (FileInfo, error)
+	// List returns the direct children of a directory, sorted by path.
+	List(path string) ([]FileInfo, error)
+	// Mkdir creates a directory and any missing parents.
+	Mkdir(path string) error
+	// Remove deletes a file, or a directory (recursively when recursive).
+	Remove(path string, recursive bool) error
+	// Rename moves a file or directory to a new path.
+	Rename(oldPath, newPath string) error
+}
+
+// Clean normalises a path to absolute slash form with no trailing slash
+// (except root itself) and no empty or dot segments.
+func Clean(path string) string {
+	segs := strings.Split(path, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// Join joins path elements with slashes and cleans the result.
+func Join(elem ...string) string {
+	return Clean(strings.Join(elem, "/"))
+}
+
+// Split returns the parent directory and the base name of a cleaned path.
+// Split("/") returns ("/", "").
+func Split(path string) (dir, name string) {
+	p := Clean(path)
+	if p == "/" {
+		return "/", ""
+	}
+	i := strings.LastIndexByte(p, '/')
+	dir = p[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	return dir, p[i+1:]
+}
+
+// Valid reports whether a path is usable (non-empty after cleaning, no NUL).
+func Valid(path string) bool {
+	return !strings.ContainsRune(path, 0) && Clean(path) != ""
+}
+
+// ReadFile reads the whole file at path.
+func ReadFile(fs FileSystem, path string) ([]byte, error) {
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// WriteFile creates path with the given contents, creating parents.
+func WriteFile(fs FileSystem, path string, data []byte) error {
+	dir, _ := Split(path)
+	if err := fs.Mkdir(dir); err != nil {
+		return err
+	}
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// Exists reports whether path names a file or directory.
+func Exists(fs FileSystem, path string) bool {
+	_, err := fs.Stat(path)
+	return err == nil
+}
+
+// Walk visits every file (not directory) under root in sorted order.
+func Walk(fs FileSystem, root string, fn func(FileInfo) error) error {
+	info, err := fs.Stat(root)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return fn(info)
+	}
+	children, err := fs.List(root)
+	if err != nil {
+		return err
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i].Path < children[j].Path })
+	for _, c := range children {
+		if err := Walk(fs, c.Path, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CopyFile copies a single file between (possibly different) filesystems,
+// returning the bytes moved. This is the engine under the shell's -put,
+// -get and -copyToLocal commands.
+func CopyFile(src FileSystem, srcPath string, dst FileSystem, dstPath string) (int64, error) {
+	r, err := src.Open(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	dir, _ := Split(dstPath)
+	if err := dst.Mkdir(dir); err != nil {
+		return 0, err
+	}
+	w, err := dst.Create(dstPath)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(w, r)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// CopyTree copies a file, or a directory recursively, returning total bytes.
+func CopyTree(src FileSystem, srcPath string, dst FileSystem, dstPath string) (int64, error) {
+	info, err := src.Stat(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	if !info.IsDir {
+		return CopyFile(src, srcPath, dst, dstPath)
+	}
+	if err := dst.Mkdir(dstPath); err != nil {
+		return 0, err
+	}
+	children, err := src.List(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range children {
+		n, err := CopyTree(src, c.Path, dst, Join(dstPath, c.Name()))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// DiskUsage returns the total size in bytes of all files under root.
+func DiskUsage(fs FileSystem, root string) (int64, error) {
+	var total int64
+	err := Walk(fs, root, func(fi FileInfo) error {
+		total += fi.Size
+		return nil
+	})
+	return total, err
+}
+
+// PathError decorates an error with the operation and path, in the style
+// of os.PathError.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string {
+	return fmt.Sprintf("%s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *PathError) Unwrap() error { return e.Err }

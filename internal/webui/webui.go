@@ -1,0 +1,71 @@
+// Package webui serves the cluster's status pages over HTTP — the
+// NameNode and JobTracker "web interfaces" the paper's students tunneled
+// SSH connections to reach in Fall 2012. Pages are plain text renders of
+// live cluster state:
+//
+//	/            index
+//	/dfshealth   NameNode status (live/dead nodes, blocks, safe mode)
+//	/jobtracker  JobTracker status (slots, jobs, per-tracker state)
+//	/fsck        filesystem audit
+//	/topology    the Figure-2 component diagram
+//	/counters    counters of the most recently completed job
+package webui
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Handler returns an http.Handler exposing the cluster's status pages.
+//
+// Concurrency note: the simulation is single-threaded; serve from the
+// same goroutine that drives the engine (or a quiesced cluster, as the
+// teaching flows do — run the job, then browse the aftermath).
+func Handler(c *core.MiniCluster) http.Handler {
+	mux := http.NewServeMux()
+	text := func(fn func() (string, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			body, err := fn()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, body)
+		}
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, `minihadoop cluster
+  /dfshealth   NameNode status
+  /jobtracker  JobTracker status
+  /fsck        filesystem audit
+  /topology    component diagram (Figure 2)
+  /counters    last completed job's counters
+`)
+	})
+	mux.Handle("/dfshealth", text(func() (string, error) { return c.DFS.StatusPage(), nil }))
+	mux.Handle("/jobtracker", text(func() (string, error) { return c.MR.StatusPage(), nil }))
+	mux.Handle("/topology", text(func() (string, error) { return c.RenderTopology(), nil }))
+	mux.Handle("/fsck", text(func() (string, error) {
+		rep, err := c.Fsck()
+		if err != nil {
+			return "", err
+		}
+		return rep.String(), nil
+	}))
+	mux.Handle("/counters", text(func() (string, error) {
+		ctrs := c.MR.JT.CompletedJobCounters()
+		if ctrs == nil {
+			return "no completed jobs yet\n", nil
+		}
+		return ctrs.String(), nil
+	}))
+	return mux
+}

@@ -1,0 +1,95 @@
+package webui_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hdfs"
+	"repro/internal/jobs"
+	"repro/internal/webui"
+)
+
+func setup(t *testing.T) *httptest.Server {
+	t.Helper()
+	c, err := core.New(core.Options{Nodes: 4, Seed: 6, HDFS: hdfs.Config{BlockSize: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := datagen.Text(c.FS(), "/in/corpus.txt", datagen.TextOpts{Lines: 500, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(jobs.WordCount("/in", "/out", true)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(webui.Handler(c))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestPages(t *testing.T) {
+	srv := setup(t)
+	cases := map[string][]string{
+		"/":           {"/dfshealth", "/jobtracker"},
+		"/dfshealth":  {"Live nodes: 4", "Blocks:"},
+		"/jobtracker": {"SUCCEEDED", "TaskTrackers: 4/4 alive"},
+		"/fsck":       {"is HEALTHY"},
+		"/topology":   {"[NameNode]", "blk_"},
+		"/counters":   {"MAP_INPUT_RECORDS", "SHUFFLE_BYTES"},
+	}
+	for path, wants := range cases {
+		code, body := get(t, srv, path)
+		if code != http.StatusOK {
+			t.Fatalf("%s -> %d", path, code)
+		}
+		for _, want := range wants {
+			if !strings.Contains(body, want) {
+				t.Fatalf("%s missing %q:\n%s", path, want, body)
+			}
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	srv := setup(t)
+	code, _ := get(t, srv, "/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown path -> %d", code)
+	}
+}
+
+func TestCountersBeforeAnyJob(t *testing.T) {
+	c, err := core.New(core.Options{Nodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(webui.Handler(c))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/counters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "no completed jobs") {
+		t.Fatalf("counters page: %s", body)
+	}
+}

@@ -1,0 +1,375 @@
+// Package yarn implements the resource-management layer the paper's
+// future work points at ("recent developments ... have moved Hadoop
+// beyond MapReduce's limitations in order to support additional
+// capabilities such as cluster resource manager [YARN]"): a
+// ResourceManager that owns cluster capacity, NodeManagers that host
+// containers, applications that negotiate containers for their tasks, and
+// pluggable FIFO / fair schedulers.
+//
+// It runs on the same deterministic sim engine as the rest of the stack,
+// which makes the multi-tenancy question behind the whole paper
+// measurable: what happens when 35 students share one cluster? (With
+// FIFO, the answer is the Fall 2012 deadline queue; with fair sharing,
+// small jobs stop starving.)
+package yarn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Resource is a container's size: virtual cores and memory.
+type Resource struct {
+	VCores   int
+	MemoryMB int64
+}
+
+// Fits reports whether r fits within free.
+func (r Resource) Fits(free Resource) bool {
+	return r.VCores <= free.VCores && r.MemoryMB <= free.MemoryMB
+}
+
+func (r Resource) plus(o Resource) Resource {
+	return Resource{VCores: r.VCores + o.VCores, MemoryMB: r.MemoryMB + o.MemoryMB}
+}
+
+func (r Resource) minus(o Resource) Resource {
+	return Resource{VCores: r.VCores - o.VCores, MemoryMB: r.MemoryMB - o.MemoryMB}
+}
+
+// String renders "4vc/8192MB".
+func (r Resource) String() string { return fmt.Sprintf("%dvc/%dMB", r.VCores, r.MemoryMB) }
+
+// TaskSpec is one unit of application work: a container of the given size
+// held for the given virtual duration.
+type TaskSpec struct {
+	Resource Resource
+	Duration time.Duration
+}
+
+// AppSpec describes an application to submit.
+type AppSpec struct {
+	Name  string
+	User  string
+	Tasks []TaskSpec
+	// AMResource is the master container held for the app's lifetime
+	// (default 1 vcore / 512 MB).
+	AMResource Resource
+}
+
+// AppState is an application's lifecycle state.
+type AppState int
+
+// Application states.
+const (
+	AppPending AppState = iota
+	AppRunning
+	AppFinished
+)
+
+func (s AppState) String() string {
+	switch s {
+	case AppPending:
+		return "PENDING"
+	case AppRunning:
+		return "RUNNING"
+	default:
+		return "FINISHED"
+	}
+}
+
+// Application is a submitted app's live state.
+type Application struct {
+	ID   int
+	Spec AppSpec
+
+	State       AppState
+	SubmittedAt sim.Time
+	StartedAt   sim.Time
+	FinishedAt  sim.Time
+
+	amNode        cluster.NodeID
+	nextTask      int
+	runningTasks  int
+	finishedTasks int
+}
+
+// WaitTime returns how long the app waited for its first container.
+func (a *Application) WaitTime() time.Duration { return a.StartedAt - a.SubmittedAt }
+
+// Makespan returns submission-to-finish time.
+func (a *Application) Makespan() time.Duration { return a.FinishedAt - a.SubmittedAt }
+
+// Scheduler picks which pending app gets the next free container.
+type Scheduler interface {
+	Name() string
+	// Pick returns the index into apps of the next app to serve, or -1.
+	// Every candidate has at least one unscheduled task.
+	Pick(apps []*Application) int
+}
+
+// FIFOScheduler serves the oldest app until it is fully scheduled — the
+// behaviour that let one student's job monopolise the paper's shared
+// cluster.
+type FIFOScheduler struct{}
+
+// Name implements Scheduler.
+func (FIFOScheduler) Name() string { return "fifo" }
+
+// Pick implements Scheduler.
+func (FIFOScheduler) Pick(apps []*Application) int {
+	best := -1
+	for i, a := range apps {
+		if best == -1 || a.SubmittedAt < apps[best].SubmittedAt ||
+			(a.SubmittedAt == apps[best].SubmittedAt && a.ID < apps[best].ID) {
+			best = i
+		}
+	}
+	return best
+}
+
+// FairScheduler gives the next container to the app currently holding the
+// fewest, breaking ties by submission time — instantaneous fair sharing.
+type FairScheduler struct{}
+
+// Name implements Scheduler.
+func (FairScheduler) Name() string { return "fair" }
+
+// Pick implements Scheduler.
+func (FairScheduler) Pick(apps []*Application) int {
+	best := -1
+	for i, a := range apps {
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := apps[best]
+		if a.runningTasks < b.runningTasks ||
+			(a.runningTasks == b.runningTasks && a.SubmittedAt < b.SubmittedAt) ||
+			(a.runningTasks == b.runningTasks && a.SubmittedAt == b.SubmittedAt && a.ID < b.ID) {
+			best = i
+		}
+	}
+	return best
+}
+
+// nodeManager tracks one node's container capacity.
+type nodeManager struct {
+	id       cluster.NodeID
+	capacity Resource
+	used     Resource
+}
+
+func (nm *nodeManager) free() Resource { return nm.capacity.minus(nm.used) }
+
+// ResourceManager owns the cluster's resources and runs the scheduler.
+type ResourceManager struct {
+	eng   *sim.Engine
+	sched Scheduler
+
+	nodes []*nodeManager
+	apps  []*Application
+	next  int
+
+	// ContainersLaunched counts all container starts (AM + tasks).
+	ContainersLaunched int
+}
+
+// NewResourceManager builds an RM over the topology; each node's capacity
+// derives from its cores and RAM.
+func NewResourceManager(eng *sim.Engine, topo *cluster.Topology, sched Scheduler) *ResourceManager {
+	if sched == nil {
+		sched = FIFOScheduler{}
+	}
+	rm := &ResourceManager{eng: eng, sched: sched}
+	for _, n := range topo.Nodes() {
+		rm.nodes = append(rm.nodes, &nodeManager{
+			id:       n.ID,
+			capacity: Resource{VCores: n.Cores, MemoryMB: n.RAMBytes >> 20},
+		})
+	}
+	return rm
+}
+
+// ClusterCapacity returns the summed node capacity.
+func (rm *ResourceManager) ClusterCapacity() Resource {
+	var total Resource
+	for _, nm := range rm.nodes {
+		total = total.plus(nm.capacity)
+	}
+	return total
+}
+
+// Utilization returns the fraction of vcores currently allocated.
+func (rm *ResourceManager) Utilization() float64 {
+	var used, cap int
+	for _, nm := range rm.nodes {
+		used += nm.used.VCores
+		cap += nm.capacity.VCores
+	}
+	if cap == 0 {
+		return 0
+	}
+	return float64(used) / float64(cap)
+}
+
+// Submit registers an application; its AM container starts as soon as
+// capacity allows.
+func (rm *ResourceManager) Submit(spec AppSpec) (*Application, error) {
+	if len(spec.Tasks) == 0 {
+		return nil, errors.New("yarn: application has no tasks")
+	}
+	if spec.AMResource == (Resource{}) {
+		spec.AMResource = Resource{VCores: 1, MemoryMB: 512}
+	}
+	cap := rm.ClusterCapacity()
+	if !spec.AMResource.Fits(cap) {
+		return nil, fmt.Errorf("yarn: AM container %v exceeds cluster capacity %v", spec.AMResource, cap)
+	}
+	for i, tk := range spec.Tasks {
+		if !tk.Resource.Fits(rm.largestNode()) {
+			return nil, fmt.Errorf("yarn: task %d container %v exceeds largest node", i, tk.Resource)
+		}
+	}
+	rm.next++
+	app := &Application{ID: rm.next, Spec: spec, SubmittedAt: rm.eng.Now()}
+	rm.apps = append(rm.apps, app)
+	rm.schedule()
+	return app, nil
+}
+
+func (rm *ResourceManager) largestNode() Resource {
+	var max Resource
+	for _, nm := range rm.nodes {
+		if nm.capacity.VCores > max.VCores {
+			max.VCores = nm.capacity.VCores
+		}
+		if nm.capacity.MemoryMB > max.MemoryMB {
+			max.MemoryMB = nm.capacity.MemoryMB
+		}
+	}
+	return max
+}
+
+// allocate finds a node with room for r (most-free-first for spreading).
+func (rm *ResourceManager) allocate(r Resource) *nodeManager {
+	var best *nodeManager
+	for _, nm := range rm.nodes {
+		if !r.Fits(nm.free()) {
+			continue
+		}
+		if best == nil || nm.free().VCores > best.free().VCores ||
+			(nm.free().VCores == best.free().VCores && nm.id < best.id) {
+			best = nm
+		}
+	}
+	return best
+}
+
+// schedule drives all state transitions: AM launches for pending apps in
+// submit order, then task containers via the pluggable scheduler.
+func (rm *ResourceManager) schedule() {
+	// Launch ApplicationMasters (FIFO regardless of task scheduler, as in
+	// YARN where the AM itself is a scheduled container).
+	pending := append([]*Application(nil), rm.apps...)
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	for _, app := range pending {
+		if app.State != AppPending {
+			continue
+		}
+		nm := rm.allocate(app.Spec.AMResource)
+		if nm == nil {
+			continue
+		}
+		nm.used = nm.used.plus(app.Spec.AMResource)
+		app.amNode = nm.id
+		app.State = AppRunning
+		app.StartedAt = rm.eng.Now()
+		rm.ContainersLaunched++
+	}
+	// Task containers.
+	for {
+		var candidates []*Application
+		for _, app := range rm.apps {
+			if app.State == AppRunning && app.nextTask < len(app.Spec.Tasks) {
+				candidates = append(candidates, app)
+			}
+		}
+		if len(candidates) == 0 {
+			return
+		}
+		idx := rm.sched.Pick(candidates)
+		if idx < 0 || idx >= len(candidates) {
+			return
+		}
+		app := candidates[idx]
+		task := app.Spec.Tasks[app.nextTask]
+		nm := rm.allocate(task.Resource)
+		if nm == nil {
+			// No room for this app's next container; try to serve another
+			// app with a smaller request before giving up entirely.
+			served := false
+			for _, other := range candidates {
+				if other == app {
+					continue
+				}
+				t2 := other.Spec.Tasks[other.nextTask]
+				if nm2 := rm.allocate(t2.Resource); nm2 != nil {
+					rm.launchTask(other, t2, nm2)
+					served = true
+					break
+				}
+			}
+			if !served {
+				return
+			}
+			continue
+		}
+		rm.launchTask(app, task, nm)
+	}
+}
+
+func (rm *ResourceManager) launchTask(app *Application, task TaskSpec, nm *nodeManager) {
+	app.nextTask++
+	app.runningTasks++
+	nm.used = nm.used.plus(task.Resource)
+	rm.ContainersLaunched++
+	rm.eng.After(task.Duration, func() {
+		nm.used = nm.used.minus(task.Resource)
+		app.runningTasks--
+		app.finishedTasks++
+		if app.finishedTasks == len(app.Spec.Tasks) {
+			// Release the AM and finish.
+			for _, n := range rm.nodes {
+				if n.id == app.amNode {
+					n.used = n.used.minus(app.Spec.AMResource)
+				}
+			}
+			app.State = AppFinished
+			app.FinishedAt = rm.eng.Now()
+		}
+		rm.schedule()
+	})
+}
+
+// Apps returns all applications in submission order.
+func (rm *ResourceManager) Apps() []*Application {
+	out := append([]*Application(nil), rm.apps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllFinished reports whether every submitted app reached AppFinished.
+func (rm *ResourceManager) AllFinished() bool {
+	for _, a := range rm.apps {
+		if a.State != AppFinished {
+			return false
+		}
+	}
+	return true
+}

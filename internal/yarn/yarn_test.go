@@ -1,0 +1,222 @@
+package yarn_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+func newRM(t testing.TB, nodes int, sched yarn.Scheduler) (*sim.Engine, *yarn.ResourceManager) {
+	eng := sim.NewEngine()
+	topo := cluster.NewTopology(cluster.PaperNodeConfig(nodes, 1))
+	return eng, yarn.NewResourceManager(eng, topo, sched)
+}
+
+func uniformApp(name, user string, tasks int, perTask time.Duration) yarn.AppSpec {
+	spec := yarn.AppSpec{Name: name, User: user}
+	for i := 0; i < tasks; i++ {
+		spec.Tasks = append(spec.Tasks, yarn.TaskSpec{
+			Resource: yarn.Resource{VCores: 2, MemoryMB: 4096},
+			Duration: perTask,
+		})
+	}
+	return spec
+}
+
+func TestSingleAppRunsToCompletion(t *testing.T) {
+	eng, rm := newRM(t, 4, nil)
+	app, err := rm.Submit(uniformApp("wordcount", "alice", 10, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.State != yarn.AppRunning {
+		t.Fatalf("app state = %v, want RUNNING immediately on a free cluster", app.State)
+	}
+	eng.Run()
+	if app.State != yarn.AppFinished {
+		t.Fatalf("state = %v", app.State)
+	}
+	// 10 tasks x 2vc on 4 nodes x 16 cores: all run in one wave -> ~1 min.
+	if app.Makespan() != time.Minute {
+		t.Fatalf("makespan = %v, want 1m (single wave)", app.Makespan())
+	}
+	if rm.Utilization() != 0 {
+		t.Fatalf("resources leaked: utilization %.2f after finish", rm.Utilization())
+	}
+}
+
+func TestWavesWhenOversubscribed(t *testing.T) {
+	eng, rm := newRM(t, 1, nil) // 16 cores: AM takes 1, 7 tasks of 2vc fit
+	app, err := rm.Submit(uniformApp("big", "bob", 14, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if app.Makespan() != 2*time.Minute {
+		t.Fatalf("makespan = %v, want 2m (two waves of 7)", app.Makespan())
+	}
+}
+
+func TestRejectsImpossibleRequests(t *testing.T) {
+	_, rm := newRM(t, 2, nil)
+	if _, err := rm.Submit(yarn.AppSpec{Name: "empty", User: "x"}); err == nil {
+		t.Fatal("empty app accepted")
+	}
+	huge := yarn.AppSpec{Name: "huge", User: "x", Tasks: []yarn.TaskSpec{{
+		Resource: yarn.Resource{VCores: 999, MemoryMB: 1}, Duration: time.Second}}}
+	if _, err := rm.Submit(huge); err == nil {
+		t.Fatal("oversized container accepted")
+	}
+}
+
+func TestFIFOStarvesSmallJobs(t *testing.T) {
+	// The multi-tenancy lesson: a deadline-night cluster with one huge job
+	// at the head of the queue. FIFO makes every later small job wait for
+	// the giant; fair sharing interleaves them.
+	run := func(sched yarn.Scheduler) (bigMakespan time.Duration, smallWait []time.Duration) {
+		eng, rm := newRM(t, 8, sched)
+		big, err := rm.Submit(uniformApp("thesis-job", "grad", 400, 2*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var smalls []*yarn.Application
+		for i := 0; i < 10; i++ {
+			eng.Advance(10 * time.Second)
+			app, err := rm.Submit(uniformApp(fmt.Sprintf("hw-%d", i), fmt.Sprintf("student%d", i), 4, time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			smalls = append(smalls, app)
+		}
+		eng.Run()
+		if !rm.AllFinished() {
+			t.Fatal("apps unfinished")
+		}
+		for _, s := range smalls {
+			smallWait = append(smallWait, s.Makespan())
+		}
+		return big.Makespan(), smallWait
+	}
+	bigFIFO, smallFIFO := run(yarn.FIFOScheduler{})
+	bigFair, smallFair := run(yarn.FairScheduler{})
+
+	medF := median(smallFIFO)
+	medR := median(smallFair)
+	if medR*3 > medF {
+		t.Fatalf("fair sharing should cut small-job latency >=3x: fifo=%v fair=%v", medF, medR)
+	}
+	// The big job pays only modestly for fairness.
+	if bigFair > bigFIFO*2 {
+		t.Fatalf("fairness tax on the big job too high: %v vs %v", bigFair, bigFIFO)
+	}
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestFairSharingIsWorkConserving(t *testing.T) {
+	// With a single app, fair and FIFO must perform identically: fairness
+	// never idles capacity.
+	mk := func(s yarn.Scheduler) time.Duration {
+		eng, rm := newRM(t, 2, s)
+		app, err := rm.Submit(uniformApp("only", "solo", 40, time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return app.Makespan()
+	}
+	if f, r := mk(yarn.FIFOScheduler{}), mk(yarn.FairScheduler{}); f != r {
+		t.Fatalf("single-app makespan differs: fifo=%v fair=%v", f, r)
+	}
+}
+
+func TestUtilizationTracksLoad(t *testing.T) {
+	eng, rm := newRM(t, 1, nil)
+	if _, err := rm.Submit(uniformApp("u", "x", 7, time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// AM 1vc + 7x2vc = 15 of 16 cores.
+	if u := rm.Utilization(); u < 0.9 {
+		t.Fatalf("utilization = %.2f, want ~0.94", u)
+	}
+	eng.Run()
+	if rm.Utilization() != 0 {
+		t.Fatal("utilization nonzero after completion")
+	}
+}
+
+func TestMemoryConstrainedPacking(t *testing.T) {
+	// Memory, not cores, is the bottleneck: 64 GB nodes, 30 GB containers
+	// -> two per node regardless of cores.
+	eng, rm := newRM(t, 2, nil)
+	spec := yarn.AppSpec{Name: "mem", User: "m"}
+	for i := 0; i < 8; i++ {
+		spec.Tasks = append(spec.Tasks, yarn.TaskSpec{
+			Resource: yarn.Resource{VCores: 1, MemoryMB: 30 << 10},
+			Duration: time.Minute,
+		})
+	}
+	app, err := rm.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// 8 tasks, 2 nodes x 2 containers = 4 at a time -> 2 waves.
+	if app.Makespan() != 2*time.Minute {
+		t.Fatalf("makespan = %v, want 2m with memory-limited packing", app.Makespan())
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []time.Duration {
+		eng, rm := newRM(t, 4, yarn.FairScheduler{})
+		var apps []*yarn.Application
+		for i := 0; i < 6; i++ {
+			a, err := rm.Submit(uniformApp(fmt.Sprintf("a%d", i), "u", 10+i, time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			apps = append(apps, a)
+			eng.Advance(5 * time.Second)
+		}
+		eng.Run()
+		var out []time.Duration
+		for _, a := range apps {
+			out = append(out, a.Makespan())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic schedule: %v vs %v", a, b)
+		}
+	}
+}
+
+func BenchmarkFairSchedulerManyApps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, rm := newRM(b, 8, yarn.FairScheduler{})
+		for j := 0; j < 50; j++ {
+			if _, err := rm.Submit(uniformApp(fmt.Sprintf("a%d", j), "u", 20, time.Minute)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Run()
+		if !rm.AllFinished() {
+			b.Fatal("unfinished")
+		}
+	}
+}
