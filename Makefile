@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test short check race chaos bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: what CI gates on.
+test: build
+	$(GO) test ./...
+
+# Fast loop: skips the tier-2 chaos sweeps (testing.Short guards).
+short:
+	$(GO) test -short ./...
+
+# Full verification: vet + the entire suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Just the fault-injection / chaos surface, race-checked.
+race:
+	$(GO) test -race ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/...
+
+chaos: race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -88,8 +88,9 @@ func E1Meltdown(seed int64) (*Result, error) {
 		name := fmt.Sprintf("trace-s%02d", i)
 		if rng.Bernoulli(faultyRate) {
 			res.Faulty++
-			c.MR.InjectFault(mrcluster.FaultSpec{
+			c.MR.InjectTaskFault(mrcluster.TaskFault{
 				JobName:       name,
+				Scope:         mrcluster.ScopeMap,
 				Probability:   0.7,
 				AfterFraction: 0.7,
 				CrashDaemons:  true,

@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mrcluster"
+	"repro/internal/sim"
+)
+
+// Target is the running system a plan is injected into. MR may be nil for
+// HDFS-only scenarios; MR-scoped faults (SlowNode, TaskError, the tracker
+// half of crashes) then log as skipped instead of firing.
+type Target struct {
+	Engine *sim.Engine
+	DFS    *hdfs.MiniDFS
+	MR     *mrcluster.MRCluster
+}
+
+// Event records one executed fault. The log is the replay fingerprint: two
+// runs of the same plan against identically built targets produce
+// byte-identical LogStrings.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Node   cluster.NodeID
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.Node == AnyNode {
+		return fmt.Sprintf("%-12v %-16s %s", e.At, e.Kind, e.Detail)
+	}
+	return fmt.Sprintf("%-12v %-16s node=%d %s", e.At, e.Kind, e.Node, e.Detail)
+}
+
+// Injector executes a Plan against a Target on the sim clock.
+type Injector struct {
+	tgt       Target
+	plan      Plan
+	rng       *sim.Rand
+	events    []Event
+	installed bool
+}
+
+// New validates the plan and builds an injector. The injector's RNG is
+// derived from Plan.Seed alone, so every AnyNode resolution and
+// corrupt-block pick replays identically run to run.
+func New(tgt Target, plan Plan) (*Injector, error) {
+	if tgt.Engine == nil || tgt.DFS == nil {
+		return nil, fmt.Errorf("faultinject: target needs Engine and DFS")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		tgt:  tgt,
+		plan: plan,
+		rng:  sim.NewRand(plan.Seed).Derive("faultinject"),
+	}, nil
+}
+
+// Install schedules every fault at now+At, in stable At order. The faults
+// fire as the caller advances the engine (running a job, RunUntil, ...).
+func (in *Injector) Install() {
+	if in.installed {
+		return
+	}
+	in.installed = true
+	base := in.tgt.Engine.Now()
+	for _, f := range in.plan.Sorted() {
+		f := f
+		in.tgt.Engine.Schedule(base+f.At, func() { in.apply(f) })
+	}
+}
+
+// Events returns the executed-fault log so far.
+func (in *Injector) Events() []Event { return append([]Event(nil), in.events...) }
+
+// LogString renders the executed-fault log, one event per line — the
+// byte-comparable determinism fingerprint.
+func (in *Injector) LogString() string {
+	var b strings.Builder
+	for _, e := range in.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (in *Injector) logf(f Fault, node cluster.NodeID, format string, args ...any) {
+	in.events = append(in.events, Event{
+		At:     in.tgt.Engine.Now(),
+		Kind:   f.Kind,
+		Node:   node,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// resolveNode turns AnyNode into a concrete seeded-random target.
+func (in *Injector) resolveNode(f Fault) cluster.NodeID {
+	if f.Node != AnyNode {
+		return f.Node
+	}
+	nodes := in.tgt.DFS.Topology.Nodes()
+	return nodes[in.rng.Choice(len(nodes))].ID
+}
+
+func (in *Injector) apply(f Fault) {
+	switch f.Kind {
+	case NodeCrash:
+		id := in.resolveNode(f)
+		in.tgt.DFS.DataNode(id).Kill()
+		if in.tgt.MR != nil {
+			in.tgt.MR.KillTaskTracker(id)
+			in.logf(f, id, "killed datanode+tasktracker")
+		} else {
+			in.logf(f, id, "killed datanode")
+		}
+	case NodeRestart:
+		id := in.resolveNode(f)
+		in.tgt.DFS.DataNode(id).Start()
+		if in.tgt.MR != nil {
+			in.tgt.MR.StartTaskTracker(id)
+			in.logf(f, id, "restarted datanode+tasktracker")
+		} else {
+			in.logf(f, id, "restarted datanode")
+		}
+	case DiskCorruptBlock:
+		id := in.resolveNode(f)
+		dn := in.tgt.DFS.DataNode(id)
+		ids := dn.BlockIDs()
+		if len(ids) == 0 {
+			in.logf(f, id, "no blocks to corrupt")
+			return
+		}
+		blk := ids[in.rng.Choice(len(ids))]
+		dn.CorruptBlock(blk)
+		in.logf(f, id, "corrupted %v", blk)
+	case SlowNode:
+		id := in.resolveNode(f)
+		if in.tgt.MR == nil {
+			in.logf(f, id, "skipped (no MR target)")
+			return
+		}
+		if f.Factor <= 1 {
+			in.tgt.MR.SetNodeSlowdown(id, 0)
+			in.logf(f, id, "slowdown cleared")
+			return
+		}
+		in.tgt.MR.SetNodeSlowdown(id, f.Factor)
+		in.logf(f, id, "slowdown x%.2f", f.Factor)
+	case NetPartition:
+		if f.RackScoped {
+			n := in.tgt.DFS.Net.IsolateRack(f.Rack)
+			in.logf(f, AnyNode, "isolated rack %d (%d nodes)", f.Rack, n)
+			return
+		}
+		id := in.resolveNode(f)
+		in.tgt.DFS.Net.Isolate(id)
+		in.logf(f, id, "isolated node")
+	case NetHeal:
+		in.tgt.DFS.Net.Heal()
+		in.logf(f, AnyNode, "healed network")
+	case HeartbeatDrop:
+		id := in.resolveNode(f)
+		in.tgt.DFS.DataNode(id).DropHeartbeatsFor(f.Window)
+		detail := "muted datanode heartbeats"
+		if in.tgt.MR != nil {
+			in.tgt.MR.DropTrackerHeartbeatsFor(id, f.Window)
+			// If the silence outlives TrackerExpiry the JobTracker declares
+			// the tracker lost and kills it; a real Hadoop tracker rejoins
+			// as a fresh daemon, so restart it when the window ends.
+			in.tgt.Engine.After(f.Window, func() { in.tgt.MR.StartTaskTracker(id) })
+			detail = "muted datanode+tracker heartbeats"
+		}
+		in.logf(f, id, "%s for %v", detail, f.Window)
+	case TaskError:
+		if in.tgt.MR == nil {
+			in.logf(f, AnyNode, "skipped (no MR target)")
+			return
+		}
+		in.tgt.MR.InjectTaskFault(f.Task)
+		in.logf(f, AnyNode, "armed %s fault on %q p=%.2f", f.Task.Scope, f.Task.JobName, f.Task.Probability)
+	}
+}

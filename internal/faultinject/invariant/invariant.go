@@ -1,0 +1,154 @@
+// Package invariant is the checker library that turns fault scenarios
+// into correctness tests. Each checker states one property the simulated
+// stack must preserve under any plan that respects the safety envelope
+// (≤ replication-1 concurrent crashes, partitions eventually healed):
+// acked writes stay readable, fsck returns to clean after the monitor
+// settles, distributed job output equals the serial runner's, and job
+// counters stay arithmetically consistent.
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/mrcluster"
+	"repro/internal/vfs"
+)
+
+// WriteTracker remembers every write HDFS acknowledged so the
+// no-acked-write-lost invariant can be checked at any later point.
+type WriteTracker struct {
+	files map[string][]byte
+}
+
+// NewWriteTracker returns an empty tracker.
+func NewWriteTracker() *WriteTracker {
+	return &WriteTracker{files: map[string][]byte{}}
+}
+
+// Put writes data through the client and records it only if the write was
+// acknowledged; an error is returned (and nothing recorded) otherwise.
+func (w *WriteTracker) Put(c *hdfs.Client, path string, data []byte) error {
+	if err := vfs.WriteFile(c, path, data); err != nil {
+		return err
+	}
+	w.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// Len returns the number of acknowledged files tracked.
+func (w *WriteTracker) Len() int { return len(w.files) }
+
+// Check re-reads every acknowledged file and fails on the first that is
+// unreadable or differs from the acknowledged bytes.
+func (w *WriteTracker) Check(c *hdfs.Client) error {
+	for _, path := range sortedKeys(w.files) {
+		got, err := vfs.ReadFile(c, path)
+		if err != nil {
+			return fmt.Errorf("invariant: acked write %s lost: %w", path, err)
+		}
+		if !bytes.Equal(got, w.files[path]) {
+			return fmt.Errorf("invariant: acked write %s corrupted: %d bytes read, %d acked",
+				path, len(got), len(w.files[path]))
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FsckHealthy fails if fsck reports any missing block right now.
+func FsckHealthy(d *hdfs.MiniDFS) error {
+	rep, err := d.Fsck()
+	if err != nil {
+		return err
+	}
+	if !rep.Healthy() {
+		return fmt.Errorf("invariant: fsck CORRUPT (%d missing blocks):\n%s", rep.MissingBlocks, rep)
+	}
+	return nil
+}
+
+// FsckSettled advances the engine until the replication monitor has fully
+// repaired the filesystem — no missing and no under-replicated blocks — or
+// fails after patience of virtual time. Historical CorruptReplicas entries
+// are tolerated: they record detections, and the replicas were already
+// invalidated and re-replicated.
+func FsckSettled(d *hdfs.MiniDFS, patience time.Duration) (*hdfs.FsckReport, error) {
+	const step = 5 * time.Second
+	// A just-killed node is still "alive" to the NameNode until its
+	// heartbeats expire; advance past the expiry first so the verdict is
+	// about the settled state, not the detection lag.
+	cfg := d.NN.Config()
+	d.Engine.Advance(cfg.HeartbeatExpiry + cfg.HeartbeatInterval)
+	var rep *hdfs.FsckReport
+	var err error
+	for waited := time.Duration(0); ; waited += step {
+		rep, err = d.Fsck()
+		if err != nil {
+			return nil, err
+		}
+		if rep.Healthy() && rep.UnderReplicated == 0 {
+			return rep, nil
+		}
+		if waited >= patience {
+			return rep, fmt.Errorf(
+				"invariant: filesystem did not settle within %v (%d missing, %d under-replicated):\n%s",
+				patience, rep.MissingBlocks, rep.UnderReplicated, rep)
+		}
+		d.Engine.Advance(step)
+	}
+}
+
+// CountersConsistent checks the arithmetic a job report must satisfy no
+// matter what faults fired. The relations are inequalities where tracker
+// loss legitimately re-runs completed maps (their counters merge twice —
+// exactly what real Hadoop reports do).
+func CountersConsistent(r *mrcluster.Report) error {
+	c := r.Counters
+	launchedMaps := c.Get(mapreduce.CtrLaunchedMaps)
+	launchedReds := c.Get(mapreduce.CtrLaunchedReduces)
+	if launchedMaps < int64(r.MapTasks) {
+		return fmt.Errorf("invariant: launched maps %d < map tasks %d", launchedMaps, r.MapTasks)
+	}
+	if !r.Failed && launchedReds < int64(r.ReduceTasks) {
+		return fmt.Errorf("invariant: launched reduces %d < reduce tasks %d", launchedReds, r.ReduceTasks)
+	}
+	locality := c.Get(mapreduce.CtrDataLocalMaps) + c.Get(mapreduce.CtrRackLocalMaps) + c.Get(mapreduce.CtrRemoteMaps)
+	if !r.Failed && locality < int64(r.MapTasks) {
+		return fmt.Errorf("invariant: locality-counted maps %d < map tasks %d", locality, r.MapTasks)
+	}
+	if locality > launchedMaps {
+		return fmt.Errorf("invariant: locality-counted maps %d > launched maps %d", locality, launchedMaps)
+	}
+	if won, spec := c.Get(mapreduce.CtrSpeculativeWon), c.Get(mapreduce.CtrSpeculativeLaunch); won > spec {
+		return fmt.Errorf("invariant: speculative wins %d > speculative launches %d", won, spec)
+	}
+	if retries, failed := c.Get(mapreduce.CtrTaskRetries), c.Get(mapreduce.CtrFailedMaps)+c.Get(mapreduce.CtrFailedReduces); retries != failed {
+		return fmt.Errorf("invariant: task retries %d != failed attempts %d", retries, failed)
+	}
+	return nil
+}
+
+// OutputsEqual fails unless the distributed job output byte-equals the
+// serial reference — the job-output-equals-serial-runner invariant that
+// must hold under every fault plan a job survives.
+func OutputsEqual(serial, distributed string) error {
+	if serial == distributed {
+		return nil
+	}
+	return fmt.Errorf(
+		"invariant: distributed output differs from serial reference\nserial  %d bytes: %.120q\ncluster %d bytes: %.120q",
+		len(serial), serial, len(distributed), distributed)
+}

@@ -1,0 +1,320 @@
+// Package faultinject is the unified, deterministic fault-injection
+// subsystem for the minihadoop stack. A Plan is a declarative, seeded
+// schedule of typed faults — node crashes and restarts, silent disk
+// corruption, stragglers, network partitions, heartbeat loss, task
+// errors — that an Injector executes on the sim engine, so that identical
+// seeds replay bit-for-bit. It replaces the fragmented per-layer chaos
+// hooks (the map-only FaultSpec, ad-hoc Kill/Start loops in tests) with
+// one engine any layer can consume, and pairs with the invariant
+// sub-package to turn fault scenarios into reusable correctness checks.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mrcluster"
+	"repro/internal/sim"
+)
+
+// Kind names a fault type.
+type Kind string
+
+// The fault taxonomy (see docs/FAULTS.md for the full semantics).
+const (
+	// NodeCrash kills the DataNode and TaskTracker daemons on a node.
+	// Replica data stays on disk; a later NodeRestart re-verifies it.
+	NodeCrash Kind = "NodeCrash"
+	// NodeRestart (re)starts the daemons on a node.
+	NodeRestart Kind = "NodeRestart"
+	// DiskCorruptBlock silently flips bits in one stored block replica;
+	// the checksum on the read path detects it.
+	DiskCorruptBlock Kind = "DiskCorruptBlock"
+	// SlowNode multiplies task durations on a node by Factor — the
+	// straggler behind speculative execution. Factor <= 1 clears it.
+	SlowNode Kind = "SlowNode"
+	// NetPartition cuts a node (or, with RackScoped, a whole rack) off
+	// from the rest of the data-plane network.
+	NetPartition Kind = "NetPartition"
+	// NetHeal restores full connectivity.
+	NetHeal Kind = "NetHeal"
+	// HeartbeatDrop mutes a node's heartbeats for Window while its
+	// daemons keep working — the control-plane half of a partition.
+	HeartbeatDrop Kind = "HeartbeatDrop"
+	// TaskError arms a mrcluster.TaskFault (map, reduce or shuffle scope)
+	// — the successor of the old map-only FaultSpec.
+	TaskError Kind = "TaskError"
+)
+
+// AnyNode lets the injector pick the target with the plan's seeded RNG.
+const AnyNode = cluster.NodeID(-1)
+
+// Fault is one scheduled fault.
+type Fault struct {
+	// At is the fire time, relative to Injector.Install.
+	At time.Duration
+	// Kind selects the fault type.
+	Kind Kind
+	// Node is the target node for node-scoped kinds; AnyNode defers the
+	// choice to the injector's seeded RNG at fire time.
+	Node cluster.NodeID
+	// RackScoped, with NetPartition, isolates the whole rack Rack
+	// instead of a single node.
+	RackScoped bool
+	// Rack is the rack to isolate when RackScoped is set.
+	Rack int
+	// Factor is the SlowNode straggler multiplier.
+	Factor float64
+	// Window is the HeartbeatDrop mute duration.
+	Window time.Duration
+	// Task is the TaskError payload.
+	Task mrcluster.TaskFault
+}
+
+// Plan is a seeded schedule of faults. The seed drives every random
+// choice the injector makes (AnyNode resolution, corrupt-block picks), so
+// a plan replays identically however often it is installed.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// Sorted returns the faults in execution order (stable by At).
+func (p Plan) Sorted() []Fault {
+	out := append([]Fault(nil), p.Faults...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Horizon returns the fire time of the last fault (plus any trailing
+// HeartbeatDrop window) — how long a scenario must run to see the whole
+// plan.
+func (p Plan) Horizon() time.Duration {
+	var h time.Duration
+	for _, f := range p.Faults {
+		end := f.At
+		if f.Kind == HeartbeatDrop {
+			end += f.Window
+		}
+		if end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// Validate checks the plan for ill-formed faults.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("faultinject: fault %d (%s) at negative time %v", i, f.Kind, f.At)
+		}
+		switch f.Kind {
+		case NodeCrash, NodeRestart, DiskCorruptBlock, NetHeal:
+		case SlowNode:
+			if f.Factor < 0 {
+				return fmt.Errorf("faultinject: fault %d SlowNode factor %v < 0", i, f.Factor)
+			}
+		case NetPartition:
+			if f.RackScoped && f.Rack < 0 {
+				return fmt.Errorf("faultinject: fault %d NetPartition rack %d < 0", i, f.Rack)
+			}
+		case HeartbeatDrop:
+			if f.Window <= 0 {
+				return fmt.Errorf("faultinject: fault %d HeartbeatDrop needs a positive Window", i)
+			}
+		case TaskError:
+			if f.Task.JobName == "" {
+				return fmt.Errorf("faultinject: fault %d TaskError needs Task.JobName", i)
+			}
+			if f.Task.Probability <= 0 {
+				return fmt.Errorf("faultinject: fault %d TaskError needs Task.Probability > 0", i)
+			}
+		default:
+			return fmt.Errorf("faultinject: fault %d has unknown kind %q", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// PlanOpts parameterises RandomPlan.
+type PlanOpts struct {
+	// Nodes and Racks describe the topology the plan targets.
+	Nodes int
+	Racks int
+	// Events is the number of faults to schedule (default 10).
+	Events int
+	// Horizon is the window fault times are drawn from (default 2 min).
+	Horizon time.Duration
+	// MaxConcurrentDown caps how many nodes the plan ever has crashed at
+	// once (default 1) — set it to replication-1 to keep data readable.
+	MaxConcurrentDown int
+	// Kinds restricts the fault mix (default: crashes, restarts,
+	// heartbeat drops and stragglers — the always-safe set).
+	Kinds []Kind
+	// Jobs supplies job names for TaskError faults; TaskError is only
+	// generated when it is both allowed by Kinds and given a job here.
+	Jobs []string
+	// CrashProbability biases the mix toward NodeCrash (default 0.4).
+	CrashProbability float64
+}
+
+func (o PlanOpts) withDefaults() PlanOpts {
+	if o.Nodes <= 0 {
+		o.Nodes = 6
+	}
+	if o.Racks <= 0 {
+		o.Racks = 1
+	}
+	if o.Events <= 0 {
+		o.Events = 10
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 2 * time.Minute
+	}
+	if o.MaxConcurrentDown <= 0 {
+		o.MaxConcurrentDown = 1
+	}
+	if len(o.Kinds) == 0 {
+		o.Kinds = []Kind{NodeCrash, NodeRestart, HeartbeatDrop, SlowNode}
+	}
+	if o.CrashProbability <= 0 {
+		o.CrashProbability = 0.4
+	}
+	return o
+}
+
+// RandomPlan generates a seeded random plan that respects the options'
+// safety envelope: never more than MaxConcurrentDown nodes crashed at
+// once, restarts only for crashed nodes, heals only after partitions, and
+// every generated target concrete (no AnyNode), so the plan is fully
+// determined by (seed, opts). The same seed and opts always return the
+// same plan.
+func RandomPlan(seed int64, opts PlanOpts) Plan {
+	o := opts.withDefaults()
+	rng := sim.NewRand(seed).Derive("faultplan")
+
+	// Draw and sort the fire times first so fault state (what is down,
+	// whether the net is partitioned) evolves in execution order.
+	times := make([]time.Duration, o.Events)
+	for i := range times {
+		times[i] = time.Duration(rng.Int63n(int64(o.Horizon)))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	allowed := func(k Kind) bool {
+		for _, a := range o.Kinds {
+			if a == k {
+				return true
+			}
+		}
+		return false
+	}
+	down := map[cluster.NodeID]bool{}
+	downList := func() []cluster.NodeID {
+		var out []cluster.NodeID
+		for id := cluster.NodeID(0); int(id) < o.Nodes; id++ {
+			if down[id] {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	upList := func() []cluster.NodeID {
+		var out []cluster.NodeID
+		for id := cluster.NodeID(0); int(id) < o.Nodes; id++ {
+			if !down[id] {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	partitioned := false
+
+	p := Plan{Seed: seed}
+	for _, at := range times {
+		f := Fault{At: at}
+		switch {
+		case allowed(NodeCrash) && len(down) < o.MaxConcurrentDown && rng.Bernoulli(o.CrashProbability):
+			ups := upList()
+			f.Kind = NodeCrash
+			f.Node = ups[rng.Choice(len(ups))]
+			down[f.Node] = true
+		case allowed(NodeRestart) && len(down) > 0 && rng.Bernoulli(0.6):
+			ds := downList()
+			f.Kind = NodeRestart
+			f.Node = ds[rng.Choice(len(ds))]
+			delete(down, f.Node)
+		case allowed(NetPartition) && !partitioned && rng.Bernoulli(0.3):
+			f.Kind = NetPartition
+			if o.Racks > 1 && rng.Bernoulli(0.5) {
+				f.RackScoped = true
+				f.Rack = rng.Choice(o.Racks)
+			} else {
+				f.Node = cluster.NodeID(rng.Choice(o.Nodes))
+			}
+			partitioned = true
+		case allowed(NetHeal) && partitioned:
+			f.Kind = NetHeal
+			partitioned = false
+		case allowed(TaskError) && len(o.Jobs) > 0 && rng.Bernoulli(0.3):
+			f.Kind = TaskError
+			f.Task = mrcluster.TaskFault{
+				JobName:       o.Jobs[rng.Choice(len(o.Jobs))],
+				Scope:         mrcluster.TaskScope(rng.Choice(3)),
+				Probability:   0.2 + 0.3*rng.Float64(),
+				AfterFraction: rng.Float64(),
+			}
+		case allowed(DiskCorruptBlock) && rng.Bernoulli(0.3):
+			f.Kind = DiskCorruptBlock
+			f.Node = cluster.NodeID(rng.Choice(o.Nodes))
+		case allowed(HeartbeatDrop) && rng.Bernoulli(0.5):
+			f.Kind = HeartbeatDrop
+			f.Node = cluster.NodeID(rng.Choice(o.Nodes))
+			f.Window = time.Duration(1+rng.Intn(20)) * time.Second
+		case allowed(SlowNode):
+			f.Kind = SlowNode
+			f.Node = cluster.NodeID(rng.Choice(o.Nodes))
+			f.Factor = 2 + 6*rng.Float64()
+		default:
+			// No Bernoulli draw fired this slot. Fall back to whatever the
+			// Kinds list still permits; a slot where nothing is eligible is
+			// dropped (so a plan can hold fewer than Events faults).
+			switch {
+			case allowed(DiskCorruptBlock):
+				f.Kind = DiskCorruptBlock
+				f.Node = cluster.NodeID(rng.Choice(o.Nodes))
+			case allowed(HeartbeatDrop):
+				f.Kind = HeartbeatDrop
+				f.Node = cluster.NodeID(rng.Choice(o.Nodes))
+				f.Window = time.Duration(1+rng.Intn(20)) * time.Second
+			case allowed(NodeRestart) && len(down) > 0:
+				ds := downList()
+				f.Kind = NodeRestart
+				f.Node = ds[rng.Choice(len(ds))]
+				delete(down, f.Node)
+			case allowed(NodeCrash) && len(down) < o.MaxConcurrentDown:
+				ups := upList()
+				f.Kind = NodeCrash
+				f.Node = ups[rng.Choice(len(ups))]
+				down[f.Node] = true
+			default:
+				continue
+			}
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	// Leave the world in a recoverable state: restart whatever is still
+	// down and heal any open partition just past the horizon, so settle
+	// invariants (fsck-clean-after-settle) are meaningful for every plan.
+	tail := o.Horizon + time.Second
+	for _, id := range downList() {
+		p.Faults = append(p.Faults, Fault{At: tail, Kind: NodeRestart, Node: id})
+	}
+	if partitioned {
+		p.Faults = append(p.Faults, Fault{At: tail, Kind: NetHeal})
+	}
+	return p
+}

@@ -1,0 +1,239 @@
+package faultinject_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// planModel is the reference in-memory model of the fault-plan scheduler:
+// it tracks only the down-set and the partition flag, and judges whether a
+// fault sequence respects the generator's safety envelope.
+type planModel struct {
+	nodes   int
+	maxDown int
+	down    map[cluster.NodeID]bool
+	parted  bool
+}
+
+func newPlanModel(o faultinject.PlanOpts) *planModel {
+	return &planModel{nodes: o.Nodes, maxDown: o.MaxConcurrentDown, down: map[cluster.NodeID]bool{}}
+}
+
+func (m *planModel) apply(f faultinject.Fault) error {
+	inRange := func(id cluster.NodeID) error {
+		if int(id) < 0 || int(id) >= m.nodes {
+			return fmt.Errorf("target %d outside [0,%d)", id, m.nodes)
+		}
+		return nil
+	}
+	switch f.Kind {
+	case faultinject.NodeCrash:
+		if err := inRange(f.Node); err != nil {
+			return err
+		}
+		if m.down[f.Node] {
+			return fmt.Errorf("crash of already-down node %d", f.Node)
+		}
+		m.down[f.Node] = true
+		if len(m.down) > m.maxDown {
+			return fmt.Errorf("%d nodes down exceeds cap %d", len(m.down), m.maxDown)
+		}
+	case faultinject.NodeRestart:
+		if err := inRange(f.Node); err != nil {
+			return err
+		}
+		if !m.down[f.Node] {
+			return fmt.Errorf("restart of node %d that is not down", f.Node)
+		}
+		delete(m.down, f.Node)
+	case faultinject.NetPartition:
+		if m.parted {
+			return fmt.Errorf("partition while already partitioned")
+		}
+		if !f.RackScoped {
+			if err := inRange(f.Node); err != nil {
+				return err
+			}
+		}
+		m.parted = true
+	case faultinject.NetHeal:
+		if !m.parted {
+			return fmt.Errorf("heal with no open partition")
+		}
+		m.parted = false
+	case faultinject.DiskCorruptBlock, faultinject.SlowNode, faultinject.HeartbeatDrop:
+		if err := inRange(f.Node); err != nil {
+			return err
+		}
+	case faultinject.TaskError:
+		// No node scope.
+	default:
+		return fmt.Errorf("unknown kind %q", f.Kind)
+	}
+	return nil
+}
+
+func (m *planModel) settled() error {
+	if len(m.down) > 0 {
+		return fmt.Errorf("%d nodes still down at end of plan", len(m.down))
+	}
+	if m.parted {
+		return fmt.Errorf("partition still open at end of plan")
+	}
+	return nil
+}
+
+// TestRandomPlanMatchesModel is the property-based test of the plan
+// generator: across many seeds and option shapes, every generated plan
+// must validate, replay cleanly through the reference model (respecting
+// the concurrent-down cap, crash/restart pairing and partition pairing),
+// and end with everything recovered.
+func TestRandomPlanMatchesModel(t *testing.T) {
+	shapes := []faultinject.PlanOpts{
+		{},
+		{Nodes: 4, Events: 25, MaxConcurrentDown: 2},
+		{Nodes: 9, Racks: 3, Events: 40, MaxConcurrentDown: 2,
+			Kinds: []faultinject.Kind{
+				faultinject.NodeCrash, faultinject.NodeRestart, faultinject.NetPartition,
+				faultinject.NetHeal, faultinject.DiskCorruptBlock, faultinject.SlowNode,
+				faultinject.HeartbeatDrop, faultinject.TaskError,
+			},
+			Jobs: []string{"wordcount", "terasort"}},
+		{Nodes: 3, Events: 60, Horizon: 10 * time.Minute, CrashProbability: 0.9},
+	}
+	for si, shape := range shapes {
+		for seed := int64(0); seed < 50; seed++ {
+			p := faultinject.RandomPlan(seed, shape)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("shape %d seed %d: %v", si, seed, err)
+			}
+			norm := shape
+			if norm.Nodes <= 0 {
+				norm.Nodes = 6
+			}
+			if norm.MaxConcurrentDown <= 0 {
+				norm.MaxConcurrentDown = 1
+			}
+			m := newPlanModel(norm)
+			prev := time.Duration(-1)
+			for i, f := range p.Sorted() {
+				if f.At < prev {
+					t.Fatalf("shape %d seed %d: fault %d out of order", si, seed, i)
+				}
+				prev = f.At
+				if err := m.apply(f); err != nil {
+					t.Fatalf("shape %d seed %d fault %d (%s at %v): %v", si, seed, i, f.Kind, f.At, err)
+				}
+			}
+			if err := m.settled(); err != nil {
+				t.Fatalf("shape %d seed %d: %v", si, seed, err)
+			}
+		}
+	}
+}
+
+// TestRandomPlanDeterministic: the generator is a pure function of
+// (seed, opts) — two calls return deep-equal plans, and different seeds
+// diverge.
+func TestRandomPlanDeterministic(t *testing.T) {
+	opts := faultinject.PlanOpts{Nodes: 6, Racks: 2, Events: 30, MaxConcurrentDown: 2}
+	for seed := int64(0); seed < 20; seed++ {
+		a := faultinject.RandomPlan(seed, opts)
+		b := faultinject.RandomPlan(seed, opts)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%v\n%v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(faultinject.RandomPlan(1, opts), faultinject.RandomPlan(2, opts)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// buildDFSTarget assembles a fresh HDFS-only target with some data so
+// every fault kind has something to act on.
+func buildDFSTarget(t *testing.T, seed int64) faultinject.Target {
+	t.Helper()
+	eng := sim.NewEngine()
+	topo := cluster.NewTopology(cluster.PaperNodeConfig(6, 2))
+	dfs, err := hdfs.NewMiniDFS(eng, topo, hdfs.Options{
+		Seed: seed,
+		Config: hdfs.Config{
+			BlockSize:           2 << 10,
+			Replication:         3,
+			HeartbeatInterval:   time.Second,
+			HeartbeatExpiry:     5 * time.Second,
+			ReplMonitorInterval: 2 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dfs.Client(hdfs.GatewayNode)
+	for i := 0; i < 4; i++ {
+		data := make([]byte, 6<<10)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		if err := vfs.WriteFile(c, fmt.Sprintf("/data/f%d", i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return faultinject.Target{Engine: eng, DFS: dfs}
+}
+
+// TestInjectorReplayIsDeterministic: installing the same plan on two
+// independently built but identical targets yields byte-identical fault
+// logs, and the executed sequence matches the plan's (At, Kind) schedule —
+// the model-level view of the injector.
+func TestInjectorReplayIsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		plan := faultinject.RandomPlan(seed, faultinject.PlanOpts{
+			Nodes: 6, Racks: 2, Events: 15, MaxConcurrentDown: 2,
+			Kinds: []faultinject.Kind{
+				faultinject.NodeCrash, faultinject.NodeRestart, faultinject.NetPartition,
+				faultinject.NetHeal, faultinject.DiskCorruptBlock, faultinject.HeartbeatDrop,
+			},
+		})
+		var logs [2]string
+		var events [2][]faultinject.Event
+		for run := 0; run < 2; run++ {
+			tgt := buildDFSTarget(t, 99)
+			in, err := faultinject.New(tgt, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := tgt.Engine.Now()
+			in.Install()
+			tgt.Engine.Advance(plan.Horizon() + time.Minute)
+			logs[run] = in.LogString()
+			evs := in.Events()
+			for i := range evs {
+				evs[i].At -= base
+			}
+			events[run] = evs
+		}
+		if logs[0] != logs[1] {
+			t.Fatalf("seed %d: replay logs differ:\n--- run A ---\n%s--- run B ---\n%s", seed, logs[0], logs[1])
+		}
+		sorted := plan.Sorted()
+		if len(events[0]) != len(sorted) {
+			t.Fatalf("seed %d: %d events executed, plan has %d faults:\n%s",
+				seed, len(events[0]), len(sorted), logs[0])
+		}
+		for i, f := range sorted {
+			e := events[0][i]
+			if e.At != f.At || e.Kind != f.Kind {
+				t.Fatalf("seed %d: event %d = (%v, %s), plan says (%v, %s)",
+					seed, i, e.At, e.Kind, f.At, f.Kind)
+			}
+		}
+	}
+}

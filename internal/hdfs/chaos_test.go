@@ -2,89 +2,127 @@ package hdfs_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 	"time"
 
-	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/faultinject/invariant"
 	"repro/internal/hdfs"
-	"repro/internal/vfs"
+	"repro/internal/sim"
 )
 
-// TestChaosKillRestartInvariants subjects a cluster to random DataNode
-// kills and restarts and checks fsck invariants at every step; with at
-// most replication-1 concurrent failures, data must always be readable,
-// and after everything restarts and the monitor settles, the filesystem
-// must return to full health.
+// chaosDFS builds the 6-node/2-rack cluster the chaos plans run against
+// and stages a handful of tracked files.
+func chaosDFS(t *testing.T, seed int64) (*hdfs.MiniDFS, *invariant.WriteTracker) {
+	t.Helper()
+	d := newDFS(t, 6, 2, hdfs.Config{
+		BlockSize:           2 << 10,
+		Replication:         3,
+		HeartbeatInterval:   time.Second,
+		HeartbeatExpiry:     5 * time.Second,
+		ReplMonitorInterval: 2 * time.Second,
+	})
+	c := d.Client(hdfs.GatewayNode)
+	tracker := invariant.NewWriteTracker()
+	rng := sim.NewRand(seed).Derive("chaos-data")
+	for i := 0; i < 8; i++ {
+		data := make([]byte, 1+rng.Intn(8<<10))
+		rng.Read(data)
+		if err := tracker.Put(c, fmt.Sprintf("/data/f%02d", i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, tracker
+}
+
+// TestChaosKillRestartInvariants subjects a cluster to a seeded random
+// crash/restart plan from the faultinject harness and checks invariants
+// between every fault: with at most replication-1 concurrent failures,
+// every acknowledged write stays readable and no block goes missing; and
+// once the plan's trailing restarts land and the monitor settles, the
+// filesystem returns to full health.
 func TestChaosKillRestartInvariants(t *testing.T) {
-	for trial := 0; trial < 3; trial++ {
+	for trial := int64(0); trial < 3; trial++ {
 		trial := trial
 		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
-			const nodes = 6
-			d := newDFS(t, nodes, 2, hdfs.Config{
-				BlockSize:           2 << 10,
-				Replication:         3,
-				HeartbeatInterval:   time.Second,
-				HeartbeatExpiry:     5 * time.Second,
-				ReplMonitorInterval: 2 * time.Second,
-			})
+			d, tracker := chaosDFS(t, 7000+trial)
 			c := d.Client(hdfs.GatewayNode)
-			var files []string
-			rng := rand.New(rand.NewSource(int64(7000 + trial)))
-			for i := 0; i < 8; i++ {
-				p := fmt.Sprintf("/data/f%02d", i)
-				data := make([]byte, 1+rng.Intn(8<<10))
-				rng.Read(data)
-				if err := vfs.WriteFile(c, p, data); err != nil {
-					t.Fatal(err)
-				}
-				files = append(files, p)
+			plan := faultinject.RandomPlan(7000+trial, faultinject.PlanOpts{
+				Nodes: 6, Racks: 2, Events: 25,
+				Horizon:           90 * time.Second,
+				MaxConcurrentDown: 2,
+				Kinds:             []faultinject.Kind{faultinject.NodeCrash, faultinject.NodeRestart},
+			})
+			in, err := faultinject.New(faultinject.Target{Engine: d.Engine, DFS: d}, plan)
+			if err != nil {
+				t.Fatal(err)
 			}
-
-			down := map[int]bool{}
-			for step := 0; step < 25; step++ {
-				switch rng.Intn(3) {
-				case 0: // kill one node, but never exceed 2 concurrently down
-					if len(down) < 2 {
-						id := rng.Intn(nodes)
-						if !down[id] {
-							d.DataNode(cluster.NodeID(id)).Kill()
-							down[id] = true
-						}
-					}
-				case 1: // restart one downed node
-					for id := range down {
-						d.DataNode(cluster.NodeID(id)).Start()
-						delete(down, id)
-						break
-					}
-				case 2:
-					d.Engine.Advance(time.Duration(1+rng.Intn(20)) * time.Second)
-				}
-				// Invariant: with ≤2 of 3 replicas lost, every file reads.
-				f := files[rng.Intn(len(files))]
-				if _, err := vfs.ReadFile(c, f); err != nil {
-					t.Fatalf("step %d: %s unreadable with %d nodes down: %v", step, f, len(down), err)
+			base := d.Engine.Now()
+			in.Install()
+			// Advance to just past each fault and re-check the invariants.
+			for i, f := range plan.Sorted() {
+				d.Engine.RunUntil(base + f.At + 10*time.Millisecond)
+				if err := tracker.Check(c); err != nil {
+					t.Fatalf("after fault %d (%s at %v): %v\nlog:\n%s", i, f.Kind, f.At, err, in.LogString())
 				}
 				rep, err := d.Fsck()
 				if err != nil {
 					t.Fatal(err)
 				}
 				if rep.MissingBlocks > 0 {
-					t.Fatalf("step %d: missing blocks with only %d nodes down:\n%s", step, len(down), rep)
+					t.Fatalf("after fault %d (%s at %v): %d missing blocks:\n%s\nlog:\n%s",
+						i, f.Kind, f.At, rep.MissingBlocks, rep, in.LogString())
 				}
 			}
-			// Everything back up; the monitor heals all damage.
-			for id := range down {
-				d.DataNode(cluster.NodeID(id)).Start()
+			// The plan's tail restarts everything; the monitor heals all damage.
+			if _, err := invariant.FsckSettled(d, 3*time.Minute); err != nil {
+				t.Fatalf("%v\nlog:\n%s", err, in.LogString())
 			}
-			d.Engine.Advance(2 * time.Minute)
-			rep, err := d.Fsck()
+			if err := tracker.Check(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosHeartbeatDropAndCorruption widens the fault mix: heartbeat
+// mutes (the NameNode wrongly declares nodes dead while they keep
+// serving) and silent disk corruption (caught by read-path checksums).
+// Unlike the crash-only plan, this mix can make individual blocks
+// transiently unreadable — a muted node's replicas are invisible to the
+// NameNode even though the data is fine — so the invariant here is
+// durability, not continuous availability: once the plan ends and the
+// monitor settles, fsck is clean and every acked byte reads back intact.
+func TestChaosHeartbeatDropAndCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 chaos test")
+	}
+	for trial := int64(0); trial < 3; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			d, tracker := chaosDFS(t, 8100+trial)
+			c := d.Client(hdfs.GatewayNode)
+			plan := faultinject.RandomPlan(8100+trial, faultinject.PlanOpts{
+				Nodes: 6, Racks: 2, Events: 20,
+				Horizon:           90 * time.Second,
+				MaxConcurrentDown: 1,
+				Kinds: []faultinject.Kind{
+					faultinject.NodeCrash, faultinject.NodeRestart,
+					faultinject.HeartbeatDrop, faultinject.DiskCorruptBlock,
+				},
+			})
+			in, err := faultinject.New(faultinject.Target{Engine: d.Engine, DFS: d}, plan)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !rep.Healthy() || rep.UnderReplicated != 0 {
-				t.Fatalf("cluster did not heal:\n%s", rep)
+			base := d.Engine.Now()
+			in.Install()
+			d.Engine.RunUntil(base + plan.Horizon() + time.Second)
+			if _, err := invariant.FsckSettled(d, 3*time.Minute); err != nil {
+				t.Fatalf("%v\nlog:\n%s", err, in.LogString())
+			}
+			if err := tracker.Check(c); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}

@@ -44,6 +44,7 @@ type Client struct {
 	eng  *sim.Engine
 	topo *cluster.Topology
 	cost cluster.CostModel
+	net  *cluster.Network
 	from cluster.NodeID
 
 	// Meter records modelled I/O cost and locality for this client.
@@ -79,6 +80,12 @@ func (c *Client) distanceTo(id cluster.NodeID) int {
 		return 4
 	}
 	return c.topo.Distance(c.from, id)
+}
+
+// reachable reports whether the client can currently move data to/from the
+// node (always true when no network overlay is installed).
+func (c *Client) reachable(id cluster.NodeID) bool {
+	return c.net.Reachable(c.from, id)
 }
 
 // --- writes ---
@@ -154,6 +161,11 @@ func (c *Client) writeBlock(f *inode, data []byte) error {
 		if dn == nil {
 			continue
 		}
+		// A partitioned target is as good as a dead one: the pipeline
+		// shrinks past it, exactly as it does past a failed DataNode.
+		if !c.net.Reachable(prev, t) {
+			continue
+		}
 		diskCost, err := dn.writeBlock(id, data)
 		if err != nil {
 			// Hadoop shrinks the pipeline past a failed node.
@@ -197,7 +209,7 @@ func (c *Client) readBlock(id BlockID) ([]byte, error) {
 	// Order candidate replicas by distance, then node ID for determinism.
 	var cands []cluster.NodeID
 	for nodeID := range bm.replicas {
-		if info := c.nn.dns[nodeID]; info != nil && info.alive && !bm.corrupt[nodeID] {
+		if info := c.nn.dns[nodeID]; info != nil && info.alive && !bm.corrupt[nodeID] && c.reachable(nodeID) {
 			cands = append(cands, nodeID)
 		}
 	}

@@ -35,6 +35,11 @@ type DataNode struct {
 
 	// FailNextWrites makes the next n block writes fail (fault injection).
 	FailNextWrites int
+
+	// muteUntil suppresses heartbeats and block reports before this
+	// instant (fault injection): the daemon keeps running and serving
+	// data, but the NameNode stops hearing from it.
+	muteUntil sim.Time
 }
 
 type storedBlock struct {
@@ -132,14 +137,28 @@ func (dn *DataNode) WipeAndKill() {
 	dn.used = 0
 }
 
+// DropHeartbeatsFor mutes the DataNode's control-plane traffic (heartbeats
+// and block reports) for the next d of virtual time. If d outlives the
+// NameNode's HeartbeatExpiry the node is declared dead and its blocks
+// re-replicated; when the window ends the node's next heartbeat revives it
+// and triggers an immediate block report.
+func (dn *DataNode) DropHeartbeatsFor(d time.Duration) {
+	until := dn.eng.Now() + d
+	if until > dn.muteUntil {
+		dn.muteUntil = until
+	}
+}
+
+func (dn *DataNode) muted() bool { return dn.eng.Now() < dn.muteUntil }
+
 func (dn *DataNode) sendHeartbeat() {
-	if dn.alive {
+	if dn.alive && !dn.muted() {
 		dn.nn.heartbeat(dn.id)
 	}
 }
 
 func (dn *DataNode) sendBlockReport() {
-	if !dn.alive {
+	if !dn.alive || dn.muted() {
 		return
 	}
 	dn.nn.blockReport(dn.id, dn.BlockIDs())

@@ -16,6 +16,9 @@ type MiniDFS struct {
 	Topology *cluster.Topology
 	Cost     cluster.CostModel
 	NN       *NameNode
+	// Net is the mutable connectivity overlay every data-plane transfer
+	// consults — the injection point for partition faults.
+	Net *cluster.Network
 
 	datanodes []*DataNode
 }
@@ -44,9 +47,11 @@ func NewMiniDFS(eng *sim.Engine, topo *cluster.Topology, opts Options) (*MiniDFS
 	}
 	cfg := opts.Config.withDefaults()
 	rng := sim.NewRand(opts.Seed).Derive("namenode")
+	net := cluster.NewNetwork(topo)
 	nn := newNameNode(eng, topo, cost, cfg, rng)
 	nn.metaFS = opts.MetadataFS
-	d := &MiniDFS{Engine: eng, Topology: topo, Cost: cost, NN: nn}
+	nn.net = net
+	d := &MiniDFS{Engine: eng, Topology: topo, Cost: cost, NN: nn, Net: net}
 	for _, n := range topo.Nodes() {
 		dn := &DataNode{
 			id:     n.ID,
@@ -85,6 +90,7 @@ func (d *MiniDFS) Client(from cluster.NodeID) *Client {
 		eng:  d.Engine,
 		topo: d.Topology,
 		cost: d.Cost,
+		net:  d.Net,
 		from: from,
 	}
 }

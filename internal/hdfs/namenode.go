@@ -81,6 +81,9 @@ type NameNode struct {
 	cfg  Config
 	rng  *sim.Rand
 
+	// net is the connectivity overlay re-replication copies must respect.
+	net *cluster.Network
+
 	ns        *namespace
 	blocks    map[BlockID]*blockMeta
 	nextBlock BlockID
@@ -170,7 +173,14 @@ func (nn *NameNode) heartbeat(id cluster.NodeID) {
 	}
 	info.lastHeartbeat = nn.eng.Now()
 	if !info.alive {
+		// A node returning from the dead (e.g. after a heartbeat-drop
+		// window) re-reports its blocks immediately, as real HDFS asks a
+		// rejoining DataNode to do — otherwise its replicas would stay
+		// invisible until the next scheduled block report.
 		info.alive = true
+		if dn := nn.datanodes[id]; dn != nil && dn.alive {
+			dn.sendBlockReport()
+		}
 	}
 }
 
@@ -603,9 +613,16 @@ func (nn *NameNode) replicationMonitor() {
 }
 
 func (nn *NameNode) scheduleReplication(bm *blockMeta) {
-	// Source: any live, non-corrupt replica holder.
+	// Source: the lowest-id live, non-corrupt replica holder. The sorted
+	// scan keeps the pick independent of map iteration order, so replays
+	// of the same seed re-replicate from (and hence to) the same nodes.
 	var src cluster.NodeID = -1
+	holders := make([]cluster.NodeID, 0, len(bm.replicas))
 	for id := range bm.replicas {
+		holders = append(holders, id)
+	}
+	sortNodeIDs(holders)
+	for _, id := range holders {
 		if info := nn.dns[id]; info != nil && info.alive && !bm.corrupt[id] {
 			src = id
 			break
@@ -628,6 +645,12 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 	dst := targets[0]
 	srcDN, dstDN := nn.datanodes[src], nn.datanodes[dst]
 	if srcDN == nil || dstDN == nil {
+		return
+	}
+	// The copy is a data-plane transfer: a partition between source and
+	// target stalls re-replication until the network heals (or another
+	// source/target pair becomes eligible on a later monitor pass).
+	if !nn.net.Reachable(src, dst) {
 		return
 	}
 	data, readCost, err := srcDN.readBlock(bm.id)

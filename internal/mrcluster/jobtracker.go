@@ -130,7 +130,7 @@ type JobTracker struct {
 
 	jobs   []*jobRun
 	jobSeq int
-	faults []FaultSpec
+	faults []TaskFault
 
 	// Stats for experiments.
 	TotalTrackerLosses int
@@ -440,7 +440,9 @@ func (jt *JobTracker) schedule() {
 			if pick == nil {
 				break
 			}
-			jt.startReduceAttempt(pick, tt, false)
+			if !jt.startReduceAttempt(pick, tt, false) {
+				break
+			}
 		}
 	}
 	if jt.mc.cfg.Speculative {
@@ -467,17 +469,25 @@ func (jt *JobTracker) pickMapTaskAtRank(tt *TaskTracker, rank int) *task {
 
 // slowdown returns the straggler multiplier for a node.
 func (jt *JobTracker) slowdown(id cluster.NodeID) float64 {
-	if f, ok := jt.mc.cfg.NodeSlowdown[id]; ok && f > 0 {
+	if f, ok := jt.mc.slow[id]; ok && f > 0 {
 		return f
 	}
 	return 1
 }
 
-// pickFault returns the armed fault for a job attempt, if it fires.
-func (jt *JobTracker) pickFault(jr *jobRun) *FaultSpec {
+// reachable reports whether a data transfer between the two nodes can
+// currently proceed on the (possibly partitioned) network.
+func (jt *JobTracker) reachable(a, b cluster.NodeID) bool {
+	return jt.mc.Net.Reachable(a, b)
+}
+
+// pickFault returns the armed fault for a job attempt in the given scope,
+// if it fires. The random draw happens only for matching faults, so arming
+// a fault for one job/scope never perturbs another's schedule.
+func (jt *JobTracker) pickFault(jr *jobRun, scope TaskScope) *TaskFault {
 	for i := range jt.faults {
 		f := &jt.faults[i]
-		if f.JobName == jr.job.Name && jt.rng.Bernoulli(f.Probability) {
+		if f.JobName == jr.job.Name && f.Scope == scope && jt.rng.Bernoulli(f.Probability) {
 			return f
 		}
 	}
@@ -561,7 +571,7 @@ func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool
 	duration = time.Duration(float64(duration) * jt.slowdown(tt.id))
 	a.expectedEnd = a.startedAt + duration
 
-	if fault := jt.pickFault(jr); fault != nil && err == nil {
+	if fault := jt.pickFault(jr, ScopeMap); fault != nil && err == nil {
 		at := time.Duration(float64(duration) * fault.AfterFraction)
 		crash := fault.CrashDaemons
 		a.timer = jt.mc.Engine.After(at, func() {
@@ -649,11 +659,17 @@ func (jt *JobTracker) failMapAttempt(a *attempt, cause error, crashDaemons bool)
 
 // --- reduce attempts ---
 
-func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative bool) {
+// startReduceAttempt launches a reduce attempt on tt, reporting whether it
+// actually started (false when map outputs are gone or unfetchable, so the
+// scheduler does not spin re-picking the same task for the same slot).
+func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative bool) bool {
 	jr := t.jr
 	// Verify every map output is still reachable; a lost tracker between
-	// map completion and now sends those maps back to pending.
-	missing := false
+	// map completion and now sends those maps back to pending. An output
+	// that survives but sits across a network partition does not re-run
+	// the map — this reducer simply cannot start here until the partition
+	// heals or a tracker on the right side picks the task up.
+	missing, unfetchable := false, false
 	for _, m := range jr.maps {
 		if m.state != taskDone {
 			missing = true
@@ -665,11 +681,18 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 			m.output = nil
 			jr.mapsDone--
 			missing = true
+			continue
+		}
+		if !jt.reachable(m.outputOn, tt.id) {
+			unfetchable = true
 		}
 	}
 	if missing {
 		jt.schedule()
-		return
+		return false
+	}
+	if unfetchable {
+		return false
 	}
 
 	tt.reduceSlotsUsed++
@@ -726,28 +749,45 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 	_, err := mapreduce.ExecuteReduce(ctx, jr.job, runs, &buf)
 	if err != nil {
 		a.timer = jt.mc.Engine.After(shuffleTime, func() {
-			jt.failReduceAttempt(a, err)
+			jt.failReduceAttempt(a, err, false)
 		})
-		return
+		return true
 	}
 	// Commit protocol: write to a temporary attempt file now, rename to
 	// the final part file at completion (Hadoop's OutputCommitter).
 	a.tempPath = vfs.Join(jr.job.OutputPath, "_temporary", a.id())
 	if werr := vfs.WriteFile(client, a.tempPath, buf.Bytes()); werr != nil {
 		a.timer = jt.mc.Engine.After(shuffleTime, func() {
-			jt.failReduceAttempt(a, werr)
+			jt.failReduceAttempt(a, werr, false)
 		})
-		return
+		return true
 	}
 	duration := shuffleTime +
 		jt.mc.cfg.ReduceWork.Cost(shuffleBytes, shuffleRecords) +
 		client.Meter.WriteTime
 	duration = time.Duration(float64(duration) * jt.slowdown(tt.id))
 	a.expectedEnd = a.startedAt + duration
+	if fault := jt.pickFault(jr, ScopeShuffle); fault != nil {
+		at := time.Duration(float64(shuffleTime) * fault.AfterFraction)
+		crash := fault.CrashDaemons
+		a.timer = jt.mc.Engine.After(at, func() {
+			jt.failReduceAttempt(a, errors.New("injected shuffle fetch failure"), crash)
+		})
+		return true
+	}
+	if fault := jt.pickFault(jr, ScopeReduce); fault != nil {
+		at := time.Duration(float64(duration) * fault.AfterFraction)
+		crash := fault.CrashDaemons
+		a.timer = jt.mc.Engine.After(at, func() {
+			jt.failReduceAttempt(a, errors.New("injected task error (heap exhaustion)"), crash)
+		})
+		return true
+	}
 	written := client.Meter.BytesWritten
 	a.timer = jt.mc.Engine.After(duration, func() {
 		jt.completeReduceAttempt(a, ctx, written, duration)
 	})
+	return true
 }
 
 // gzipSize returns the real gzip-compressed size of a partition's pairs —
@@ -830,7 +870,7 @@ func (jt *JobTracker) completeReduceAttempt(a *attempt, ctx *mapreduce.TaskConte
 	}
 }
 
-func (jt *JobTracker) failReduceAttempt(a *attempt, cause error) {
+func (jt *JobTracker) failReduceAttempt(a *attempt, cause error, crashDaemons bool) {
 	t, jr := a.t, a.t.jr
 	if a.dead || jr.state != jobRunning {
 		return
@@ -847,6 +887,12 @@ func (jt *JobTracker) failReduceAttempt(a *attempt, cause error) {
 	t.failures++
 	if len(t.attempts) == 0 && t.state != taskDone {
 		t.state = taskPending
+	}
+	if crashDaemons {
+		jt.mc.KillTaskTracker(a.tt.id)
+		if dn := jt.mc.DFS.DataNode(a.tt.id); dn != nil {
+			dn.Kill()
+		}
 	}
 	if t.failures >= jt.mc.cfg.MaxAttempts {
 		jt.failJob(jr, fmt.Errorf("task %s failed %d times: %w", t.id(), t.failures, cause))

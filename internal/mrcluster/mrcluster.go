@@ -112,6 +112,10 @@ type TaskTracker struct {
 	reduceSlotsUsed int
 	lastHeartbeat   sim.Time
 
+	// muteUntil suppresses heartbeats before this instant (fault
+	// injection); past TrackerExpiry the JobTracker declares the node lost.
+	muteUntil sim.Time
+
 	// mapOutputs holds completed map outputs keyed by (job, mapIndex).
 	mapOutputs map[outputKey]*mapreduce.MapOutput
 
@@ -136,13 +140,42 @@ func (tt *TaskTracker) Hostname() string { return tt.node.Hostname }
 // Alive reports whether the daemon is running.
 func (tt *TaskTracker) Alive() bool { return tt.alive }
 
-// FaultSpec injects runtime errors into a job's map attempts — the
-// "run time errors that created memory leaks ... and consequently crashed
-// the task tracker and data node daemons" of the paper's Fall 2012 story.
-type FaultSpec struct {
+// TaskScope selects which part of a job's execution a TaskFault strikes.
+type TaskScope int
+
+const (
+	// ScopeMap strikes map attempts — the "run time errors that created
+	// memory leaks ... and consequently crashed the task tracker and data
+	// node daemons" of the paper's Fall 2012 story.
+	ScopeMap TaskScope = iota
+	// ScopeReduce strikes reduce attempts after the shuffle completes.
+	ScopeReduce
+	// ScopeShuffle strikes the fetch phase feeding a reduce attempt.
+	ScopeShuffle
+)
+
+// String names the scope for fault logs.
+func (s TaskScope) String() string {
+	switch s {
+	case ScopeReduce:
+		return "reduce"
+	case ScopeShuffle:
+		return "shuffle"
+	default:
+		return "map"
+	}
+}
+
+// TaskFault injects runtime errors into a job's task attempts. It is the
+// runtime's task-level injection point, driven directly or through a
+// faultinject.Plan (fault kind TaskError).
+type TaskFault struct {
 	// JobName selects the job whose attempts misbehave.
 	JobName string
-	// Probability is the chance each map attempt hits the fault.
+	// Scope selects map attempts (default), reduce attempts or shuffle
+	// fetches.
+	Scope TaskScope
+	// Probability is the chance each in-scope attempt hits the fault.
 	Probability float64
 	// CrashDaemons, when set, kills the TaskTracker (and the co-located
 	// DataNode) instead of merely failing the attempt.
@@ -158,10 +191,15 @@ type MRCluster struct {
 	Topology *cluster.Topology
 	Cost     cluster.CostModel
 	DFS      *hdfs.MiniDFS
+	Net      *cluster.Network
 	JT       *JobTracker
 
 	trackers []*TaskTracker
 	cfg      Config
+
+	// slow holds the current per-node straggler factors; seeded from
+	// Config.NodeSlowdown and mutable at runtime via SetNodeSlowdown.
+	slow map[cluster.NodeID]float64
 }
 
 // NewMRCluster starts TaskTrackers on every node of the DFS topology.
@@ -172,7 +210,12 @@ func NewMRCluster(dfs *hdfs.MiniDFS, cfg Config, seed int64) *MRCluster {
 		Topology: dfs.Topology,
 		Cost:     dfs.Cost,
 		DFS:      dfs,
+		Net:      dfs.Net,
 		cfg:      cfg,
+		slow:     map[cluster.NodeID]float64{},
+	}
+	for id, f := range cfg.NodeSlowdown {
+		mc.slow[id] = f
 	}
 	jt := newJobTracker(mc, sim.NewRand(seed).Derive("jobtracker"))
 	mc.JT = jt
@@ -213,11 +256,12 @@ func (mc *MRCluster) StartTaskTracker(id cluster.NodeID) {
 	tt.alive = true
 	tt.lossHandled = false
 	tt.lastHeartbeat = mc.Engine.Now()
+	tt.muteUntil = 0
 	tt.mapSlotsUsed, tt.reduceSlotsUsed = 0, 0
 	tt.mapOutputs = map[outputKey]*mapreduce.MapOutput{}
 	tt.sideCache = map[string][]byte{}
 	tt.hbTicker = mc.Engine.Every(mc.cfg.HeartbeatInterval, func() {
-		if tt.alive {
+		if tt.alive && mc.Engine.Now() >= tt.muteUntil {
 			mc.JT.heartbeat(tt)
 		}
 	})
@@ -236,8 +280,38 @@ func (mc *MRCluster) KillTaskTracker(id cluster.NodeID) {
 	}
 }
 
-// InjectFault arms a fault for future attempts of a job.
-func (mc *MRCluster) InjectFault(f FaultSpec) { mc.JT.faults = append(mc.JT.faults, f) }
+// InjectTaskFault arms a fault for future attempts of a job.
+func (mc *MRCluster) InjectTaskFault(f TaskFault) { mc.JT.faults = append(mc.JT.faults, f) }
+
+// ClearTaskFaults disarms every injected task fault.
+func (mc *MRCluster) ClearTaskFaults() { mc.JT.faults = nil }
+
+// SetNodeSlowdown sets (or, with factor <= 0, clears) the straggler
+// multiplier applied to task attempts that start on a node from now on;
+// attempts already running keep their original modelled duration.
+func (mc *MRCluster) SetNodeSlowdown(id cluster.NodeID, factor float64) {
+	if factor <= 0 {
+		delete(mc.slow, id)
+		return
+	}
+	mc.slow[id] = factor
+}
+
+// DropTrackerHeartbeatsFor mutes a TaskTracker's heartbeats for the next d
+// of virtual time without stopping its work. Past TrackerExpiry the
+// JobTracker declares the node lost and reschedules everything it held —
+// the rejoin path afterwards is StartTaskTracker (Hadoop reinitialises a
+// returning tracker from scratch).
+func (mc *MRCluster) DropTrackerHeartbeatsFor(id cluster.NodeID, d time.Duration) {
+	tt := mc.TaskTracker(id)
+	if tt == nil {
+		return
+	}
+	until := mc.Engine.Now() + d
+	if until > tt.muteUntil {
+		tt.muteUntil = until
+	}
+}
 
 // Submit queues a job for execution and returns its handle.
 func (mc *MRCluster) Submit(job *mapreduce.Job) (*JobHandle, error) {

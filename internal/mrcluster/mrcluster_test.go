@@ -229,7 +229,7 @@ func TestTaskTrackerCrashMidJobRecovers(t *testing.T) {
 func TestFaultyJobFailsAfterMaxAttempts(t *testing.T) {
 	rig := newRig(t, 4, 1, hdfs.Config{BlockSize: 64 << 10}, mrcluster.Config{MaxAttempts: 3})
 	rig.stage(t, "/in/data.txt", corpus(100))
-	rig.mc.InjectFault(mrcluster.FaultSpec{JobName: "wordcount", Probability: 1, AfterFraction: 0.5})
+	rig.mc.InjectTaskFault(mrcluster.TaskFault{JobName: "wordcount", Probability: 1, AfterFraction: 0.5})
 	_, err := rig.mc.Run(wordCountJob("/in", "/out"))
 	if err == nil {
 		t.Fatal("always-faulty job succeeded")
@@ -246,7 +246,7 @@ func TestCrashingJobKillsDaemons(t *testing.T) {
 		HeartbeatInterval: time.Second, HeartbeatExpiry: 5 * time.Second},
 		mrcluster.Config{MaxAttempts: 4, HeartbeatInterval: time.Second, TrackerExpiry: 5 * time.Second})
 	rig.stage(t, "/in/data.txt", corpus(500))
-	rig.mc.InjectFault(mrcluster.FaultSpec{JobName: "wordcount", Probability: 1, AfterFraction: 0.9, CrashDaemons: true})
+	rig.mc.InjectTaskFault(mrcluster.TaskFault{JobName: "wordcount", Probability: 1, AfterFraction: 0.9, CrashDaemons: true})
 	_, err := rig.mc.Run(wordCountJob("/in", "/out"))
 	if err == nil {
 		t.Fatal("daemon-crashing job succeeded")

@@ -51,7 +51,7 @@ func TestJobsListStates(t *testing.T) {
 	rig := newRig(t, 4, 1, hdfs.Config{BlockSize: 64 << 10}, mrcluster.Config{MaxAttempts: 2})
 	rig.stage(t, "/in/data.txt", corpus(50))
 	// One job fails, one succeeds.
-	rig.mc.InjectFault(mrcluster.FaultSpec{JobName: "wordcount", Probability: 1, AfterFraction: 0.5})
+	rig.mc.InjectTaskFault(mrcluster.TaskFault{JobName: "wordcount", Probability: 1, AfterFraction: 0.5})
 	_, _ = rig.mc.Run(wordCountJob("/in", "/out-fail"))
 	okJob := wordCountJob("/in", "/out-ok")
 	okJob.Name = "wordcount-ok"
