@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short check race chaos bench
+.PHONY: build test short check race chaos bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -9,20 +9,39 @@ build:
 test: build
 	$(GO) test ./...
 
-# Fast loop: skips the tier-2 chaos sweeps (testing.Short guards).
+# Fast loop: skips the tier-2 chaos sweeps and benchmark regression
+# (testing.Short guards).
 short:
 	$(GO) test -short ./...
 
-# Full verification: vet + the entire suite under the race detector.
+# Full verification: vet + the entire suite under the race detector
+# (includes the obs registry, whose counters are read concurrently by the
+# web UI while hot paths write them).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Just the fault-injection / chaos surface, race-checked.
+# Just the concurrency-sensitive surface, race-checked.
 race:
-	$(GO) test -race ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/...
+	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/...
 
 chaos: race
 
+# Full benchmark pass, then regenerate the committed headline-metrics
+# artifact the tier-2 regression test (TestBenchRegression) diffs against.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) run ./cmd/benchreport -out BENCH_pr2.json
+
+# One-iteration benchmark smoke pass — proves every experiment still runs
+# without paying for steady-state timing.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ .
+
+# The gate a PR must pass end to end: vet, build, tier-1 tests, the
+# race-checked obs + fault-injection subset, and a benchmark smoke run.
+ci: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/obs/... ./internal/faultinject/...
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,145 @@
+// Tier-2 benchmark-regression harness. Recomputes the headline metrics
+// in-process at benchSeed and checks two things:
+//
+//  1. Shape invariants — the paper's qualitative claims (who wins, which
+//     direction) hold regardless of cost-model retuning.
+//  2. Drift against every committed BENCH_*.json — a PR can't silently
+//     flip a winner or move a headline factor by more than driftBand
+//     without regenerating the artifact (make bench) and committing it.
+//
+// Guarded by testing.Short: `go test -short` skips it, tier-1 runs it.
+package repro_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// driftBand is the generous factor within which a headline metric may
+// move against a committed artifact before the test demands the artifact
+// be regenerated. Shapes, not absolute numbers, are the contract.
+const driftBand = 3.0
+
+// shapeChecks encodes the qualitative claim behind each headline metric
+// as a closed interval [lo, hi] the value must fall in (math.Inf(1) for
+// unbounded above).
+var shapeChecks = map[string]map[string][2]float64{
+	"FIG1": {
+		"hpc-slowdown-at-16-nodes": {1, math.Inf(1)}, // shared storage loses
+		"locality-%":               {0, 100},
+	},
+	"E1": {
+		"completed-fraction": {0, 1}, // meltdown: some but not all jobs finish
+		"recovery-minutes":   {0, math.Inf(1)},
+		"dead-datanodes":     {1, math.Inf(1)},
+	},
+	"E2": {
+		"shuffle-reduction-x": {1, math.Inf(1)}, // combiner shrinks the shuffle
+		"map-phase-ratio":     {1, math.Inf(1)}, // ...at some map-side cost
+	},
+	"E3": {
+		"plain-vs-imc-shuffle-x": {1, math.Inf(1)}, // in-mapper combining wins
+		"imc-memory-bytes":       {1, math.Inf(1)}, // ...by spending memory
+	},
+	"E4": {"naive-vs-cached-x": {1, math.Inf(1)}}, // caching side data wins
+	"E5": {"cluster-speedup-x": {1, math.Inf(1)}}, // cluster beats serial
+	"E6": {"failure-rate-at-30m": {0, 1}},         // a rate
+	"E7": {"trace-staging-minutes": {0, math.Inf(1)}},
+	"E8": {"under-replicated-after-kill": {1, math.Inf(1)}}, // fsck sees the kill
+	"E9": {
+		"speedup-at-16-nodes": {1, math.Inf(1)}, // scaling helps
+		"speculation-gain-x":  {1, math.Inf(1)}, // speculation helps stragglers
+	},
+}
+
+func TestBenchRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: benchmark regression skipped in -short mode")
+	}
+	rep, err := experiments.Headlines(benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Shape invariants.
+	for id, checks := range shapeChecks {
+		got, ok := rep.Experiments[id]
+		if !ok {
+			t.Errorf("%s: missing from headline report", id)
+			continue
+		}
+		for name, bounds := range checks {
+			v, ok := got[name]
+			switch {
+			case !ok:
+				t.Errorf("%s: missing headline metric %q", id, name)
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				t.Errorf("%s/%s = %v: not finite", id, name, v)
+			case v < bounds[0] || v > bounds[1]:
+				t.Errorf("%s/%s = %v: outside shape bounds [%v, %v]", id, name, v, bounds[0], bounds[1])
+			}
+		}
+	}
+
+	// 2. Drift against every committed artifact.
+	arts, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(arts)
+	for _, path := range arts {
+		diffArtifact(t, path, rep)
+	}
+	if len(arts) == 0 {
+		t.Log("no committed BENCH_*.json artifacts; drift check skipped (run make bench)")
+	}
+}
+
+func diffArtifact(t *testing.T, path string, cur *experiments.HeadlineReport) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Errorf("%s: %v", path, err)
+		return
+	}
+	var prev experiments.HeadlineReport
+	if err := json.Unmarshal(data, &prev); err != nil {
+		t.Errorf("%s: %v", path, err)
+		return
+	}
+	for id, prevMetrics := range prev.Experiments {
+		curMetrics, ok := cur.Experiments[id]
+		if !ok {
+			t.Errorf("%s: experiment %s disappeared from the headline report", path, id)
+			continue
+		}
+		for name, pv := range prevMetrics {
+			cv, ok := curMetrics[name]
+			if !ok {
+				t.Errorf("%s: %s/%s disappeared from the headline report", path, id, name)
+				continue
+			}
+			// Direction: a "-x" metric is a who-wins ratio; the winner
+			// (which side of 1 it sits on) must not flip.
+			if strings.HasSuffix(name, "-x") && (pv > 1) != (cv > 1) {
+				t.Errorf("%s: %s/%s flipped winner: artifact %v, current %v", path, id, name, pv, cv)
+				continue
+			}
+			// Factor: stay within driftBand of the committed value.
+			if pv != 0 && cv != 0 && (pv > 0) == (cv > 0) {
+				ratio := math.Abs(cv) / math.Abs(pv)
+				if ratio > driftBand || ratio < 1/driftBand {
+					t.Errorf("%s: %s/%s drifted %.2fx (artifact %v, current %v): regenerate with `make bench` if intended",
+						path, id, name, ratio, pv, cv)
+				}
+			}
+		}
+	}
+}

@@ -8,9 +8,14 @@
 // from the deterministic cost model (see EXPERIMENTS.md for the
 // paper-vs-measured discussion); the asserted *shapes* — who wins, by
 // what factor, where saturation sets in — are the reproduction targets.
+//
+// The reported metrics are extracted by experiments.HeadlineMetrics, the
+// same code path cmd/benchreport uses to write the BENCH_<pr>.json
+// regression artifact (diffed by TestBenchRegression).
 package repro_test
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/experiments"
@@ -35,15 +40,25 @@ func runExperiment(b *testing.B, id string, report func(b *testing.B, r *experim
 	}
 }
 
+// headlines reports id's headline metrics (sorted for stable output).
+func headlines(id string) func(b *testing.B, r *experiments.Result) {
+	return func(b *testing.B, r *experiments.Result) {
+		m := experiments.HeadlineMetrics(id, r)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.ReportMetric(m[k], k)
+		}
+	}
+}
+
 // BenchmarkFig1ArchitectureComparison regenerates Figure 1's point: the
 // HPC compute/storage split versus the Hadoop data-local layout.
 func BenchmarkFig1ArchitectureComparison(b *testing.B) {
-	runExperiment(b, "FIG1", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.Fig1Result)
-		last := res.Points[len(res.Points)-1]
-		b.ReportMetric(last.Slowdown, "hpc-slowdown-at-16-nodes")
-		b.ReportMetric(last.LocalityPercent, "locality-%")
-	})
+	runExperiment(b, "FIG1", headlines("FIG1"))
 }
 
 // BenchmarkFig2TopologyRender regenerates Figure 2 from live state.
@@ -69,82 +84,28 @@ func BenchmarkTable4YearToTeach(b *testing.B) { runExperiment(b, "T4", nil) }
 func BenchmarkTable5Curriculum(b *testing.B) { runExperiment(b, "T5", nil) }
 
 // BenchmarkE1DeadlineMeltdown replays the Fall 2012 meltdown.
-func BenchmarkE1DeadlineMeltdown(b *testing.B) {
-	runExperiment(b, "E1", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.MeltdownResult)
-		b.ReportMetric(res.CompletedFraction(), "completed-fraction")
-		b.ReportMetric(res.RecoveryTime.Minutes(), "recovery-minutes")
-		b.ReportMetric(float64(res.DeadDataNodes), "dead-datanodes")
-	})
-}
+func BenchmarkE1DeadlineMeltdown(b *testing.B) { runExperiment(b, "E1", headlines("E1")) }
 
 // BenchmarkE2CombinerTradeoff measures the combiner's shuffle/map-time trade.
-func BenchmarkE2CombinerTradeoff(b *testing.B) {
-	runExperiment(b, "E2", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E2Result)
-		b.ReportMetric(float64(res.Plain.ShuffleBytes)/float64(res.Combiner.ShuffleBytes), "shuffle-reduction-x")
-		b.ReportMetric(float64(res.Combiner.MapPhase)/float64(res.Plain.MapPhase), "map-phase-ratio")
-	})
-}
+func BenchmarkE2CombinerTradeoff(b *testing.B) { runExperiment(b, "E2", headlines("E2")) }
 
 // BenchmarkE3AirlineVariants compares the three delay-average designs.
-func BenchmarkE3AirlineVariants(b *testing.B) {
-	runExperiment(b, "E3", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E3Result)
-		b.ReportMetric(float64(res.Plain.ShuffleBytes)/float64(res.InMapper.ShuffleBytes), "plain-vs-imc-shuffle-x")
-		b.ReportMetric(float64(res.InMapper.MemoryPeak), "imc-memory-bytes")
-	})
-}
+func BenchmarkE3AirlineVariants(b *testing.B) { runExperiment(b, "E3", headlines("E3")) }
 
 // BenchmarkE4SideDataAccess measures naive vs cached side-file access.
-func BenchmarkE4SideDataAccess(b *testing.B) {
-	runExperiment(b, "E4", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E4Result)
-		b.ReportMetric(res.Ratio, "naive-vs-cached-x")
-	})
-}
+func BenchmarkE4SideDataAccess(b *testing.B) { runExperiment(b, "E4", headlines("E4")) }
 
 // BenchmarkE5SerialVsCluster measures the same-jar cluster speedup.
-func BenchmarkE5SerialVsCluster(b *testing.B) {
-	runExperiment(b, "E5", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E5Result)
-		b.ReportMetric(res.Speedup, "cluster-speedup-x")
-	})
-}
+func BenchmarkE5SerialVsCluster(b *testing.B) { runExperiment(b, "E5", headlines("E5")) }
 
 // BenchmarkE6GhostDaemons sweeps the scheduler cleanup interval.
-func BenchmarkE6GhostDaemons(b *testing.B) {
-	runExperiment(b, "E6", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E6Result)
-		b.ReportMetric(res.Points[len(res.Points)-1].FailureRate, "failure-rate-at-30m")
-	})
-}
+func BenchmarkE6GhostDaemons(b *testing.B) { runExperiment(b, "E6", headlines("E6")) }
 
 // BenchmarkE7StagingTime evaluates staging cost at paper scale.
-func BenchmarkE7StagingTime(b *testing.B) {
-	runExperiment(b, "E7", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E7Result)
-		for _, p := range res.Points {
-			if p.Size == 171<<30 {
-				b.ReportMetric(p.Staging.Minutes(), "trace-staging-minutes")
-			}
-		}
-	})
-}
+func BenchmarkE7StagingTime(b *testing.B) { runExperiment(b, "E7", headlines("E7")) }
 
 // BenchmarkE8FsckRecovery replays the shell observation exercise.
-func BenchmarkE8FsckRecovery(b *testing.B) {
-	runExperiment(b, "E8", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E8Result)
-		b.ReportMetric(float64(res.UnderReplicatedAfterKill), "under-replicated-after-kill")
-	})
-}
+func BenchmarkE8FsckRecovery(b *testing.B) { runExperiment(b, "E8", headlines("E8")) }
 
 // BenchmarkE9Scalability measures the 1–16 node speedup curve.
-func BenchmarkE9Scalability(b *testing.B) {
-	runExperiment(b, "E9", func(b *testing.B, r *experiments.Result) {
-		res := r.Raw.(*experiments.E9Result)
-		b.ReportMetric(res.Points[len(res.Points)-1].Speedup, "speedup-at-16-nodes")
-		b.ReportMetric(res.SpeculationGain, "speculation-gain-x")
-	})
-}
+func BenchmarkE9Scalability(b *testing.B) { runExperiment(b, "E9", headlines("E9")) }

@@ -45,6 +45,7 @@ func main() {
 	script := flag.String("c", "", "commands to run (newline separated); default reads stdin")
 	topology := flag.Bool("topology", false, "print the component topology (Figure 2) after the session")
 	serve := flag.String("serve", "", "after the session, serve the web UI on this address (e.g. :50070)")
+	metrics := flag.String("metrics", "", "write the obs metrics/spans snapshot to this JSON file after the session")
 	flag.Parse()
 
 	c, err := core.New(core.Options{
@@ -108,6 +109,16 @@ func main() {
 	}
 	if *topology {
 		fmt.Println(c.RenderTopology())
+	}
+	if *metrics != "" {
+		data, err := c.Obs.SnapshotJSON()
+		if err == nil {
+			err = os.WriteFile(*metrics, data, 0o644)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("writing metrics: %w", err))
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metrics)
 	}
 	if *serve != "" {
 		fmt.Printf("serving web UI on http://%s (dfshealth, jobtracker, fsck, topology)\n", *serve)

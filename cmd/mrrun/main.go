@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hdfs"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/vfs"
 )
@@ -33,6 +34,7 @@ func main() {
 	nodes := flag.Int("nodes", 8, "cluster mode: node count")
 	blockSize := flag.Int64("block", 1<<20, "cluster mode: HDFS block size")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	metrics := flag.String("metrics", "", "write the obs metrics/spans snapshot to this JSON file")
 	flag.Parse()
 
 	if *list {
@@ -70,12 +72,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := (&serial.Runner{FS: host, Parallelism: 4}).Run(job)
+		reg := obs.NewRegistry()
+		rep, err := (&serial.Runner{FS: host, Parallelism: 4, Obs: reg}).Run(job)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(rep)
 		fmt.Printf("Output written to %s\n", outAbs)
+		writeMetrics(reg, *metrics)
 	case "cluster":
 		c, err := core.New(core.Options{
 			Nodes: *nodes,
@@ -110,9 +114,25 @@ func main() {
 			fatal(fmt.Errorf("exporting output: %w", err))
 		}
 		fmt.Printf("Output copied to local filesystem at %s\n", outAbs)
+		writeMetrics(c.Obs, *metrics)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// writeMetrics dumps the registry snapshot to path (no-op when empty).
+func writeMetrics(reg *obs.Registry, path string) {
+	if path == "" {
+		return
+	}
+	data, err := reg.SnapshotJSON()
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fatal(fmt.Errorf("writing metrics: %w", err))
+	}
+	fmt.Printf("Metrics snapshot written to %s\n", path)
 }
 
 func mustAbs(p string) string {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
 	"repro/internal/mrcluster"
+	"repro/internal/obs"
 	"repro/internal/shell"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -41,6 +42,9 @@ type MiniCluster struct {
 	Topology *cluster.Topology
 	DFS      *hdfs.MiniDFS
 	MR       *mrcluster.MRCluster
+	// Obs is the cluster-wide observability registry: every metric and
+	// span the HDFS and MapReduce layers emit lands here.
+	Obs *obs.Registry
 }
 
 // New builds and starts a cluster.
@@ -63,7 +67,7 @@ func New(opts Options) (*MiniCluster, error) {
 		return nil, err
 	}
 	mc := mrcluster.NewMRCluster(dfs, opts.MR, opts.Seed+1)
-	return &MiniCluster{Engine: eng, Topology: topo, DFS: dfs, MR: mc}, nil
+	return &MiniCluster{Engine: eng, Topology: topo, DFS: dfs, MR: mc, Obs: dfs.Obs}, nil
 }
 
 // FS returns a gateway (off-cluster) HDFS client — the login node view.

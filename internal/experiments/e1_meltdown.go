@@ -160,7 +160,7 @@ func E1Meltdown(seed int64) (*Result, error) {
 		c.Engine.Advance(15 * time.Second)
 	}
 	if !c.DFS.NN.InSafeMode() {
-		res.RecoveryTime = c.DFS.NN.SafeModeExitedAt - restartAt
+		res.RecoveryTime = c.DFS.NN.SafeModeExitedAt() - restartAt
 	}
 	c.Engine.Advance(2 * time.Minute) // let the replication monitor settle
 	fsck2, err := c.Fsck()

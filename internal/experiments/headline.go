@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Headline extraction: the small set of "who wins, by what factor"
+// numbers each experiment's claim turns on. One extraction feeds both
+// `go test -bench` (via b.ReportMetric in bench_test.go) and the
+// BENCH_<pr>.json regression artifact written by cmd/benchreport, so the
+// two views can never drift apart.
+
+// HeadlineIDs lists the experiments that contribute headline metrics, in
+// presentation order.
+var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+
+// HeadlineMetrics extracts id's headline metrics from a finished run.
+// Metric names ending in "-x" are ratios where >1 means the paper's
+// claimed winner won; the regression test keys its direction checks on
+// that convention.
+func HeadlineMetrics(id string, r *Result) map[string]float64 {
+	switch id {
+	case "FIG1":
+		res := r.Raw.(*Fig1Result)
+		last := res.Points[len(res.Points)-1]
+		return map[string]float64{
+			"hpc-slowdown-at-16-nodes": last.Slowdown,
+			"locality-%":               last.LocalityPercent,
+		}
+	case "E1":
+		res := r.Raw.(*MeltdownResult)
+		return map[string]float64{
+			"completed-fraction": res.CompletedFraction(),
+			"recovery-minutes":   res.RecoveryTime.Minutes(),
+			"dead-datanodes":     float64(res.DeadDataNodes),
+		}
+	case "E2":
+		res := r.Raw.(*E2Result)
+		return map[string]float64{
+			"shuffle-reduction-x": float64(res.Plain.ShuffleBytes) / float64(res.Combiner.ShuffleBytes),
+			"map-phase-ratio":     float64(res.Combiner.MapPhase) / float64(res.Plain.MapPhase),
+		}
+	case "E3":
+		res := r.Raw.(*E3Result)
+		return map[string]float64{
+			"plain-vs-imc-shuffle-x": float64(res.Plain.ShuffleBytes) / float64(res.InMapper.ShuffleBytes),
+			"imc-memory-bytes":       float64(res.InMapper.MemoryPeak),
+		}
+	case "E4":
+		res := r.Raw.(*E4Result)
+		return map[string]float64{"naive-vs-cached-x": res.Ratio}
+	case "E5":
+		res := r.Raw.(*E5Result)
+		return map[string]float64{"cluster-speedup-x": res.Speedup}
+	case "E6":
+		res := r.Raw.(*E6Result)
+		return map[string]float64{
+			"failure-rate-at-30m": res.Points[len(res.Points)-1].FailureRate,
+		}
+	case "E7":
+		res := r.Raw.(*E7Result)
+		m := map[string]float64{}
+		for _, p := range res.Points {
+			if p.Size == 171<<30 {
+				m["trace-staging-minutes"] = p.Staging.Minutes()
+			}
+		}
+		return m
+	case "E8":
+		res := r.Raw.(*E8Result)
+		return map[string]float64{
+			"under-replicated-after-kill": float64(res.UnderReplicatedAfterKill),
+		}
+	case "E9":
+		res := r.Raw.(*E9Result)
+		return map[string]float64{
+			"speedup-at-16-nodes": res.Points[len(res.Points)-1].Speedup,
+			"speculation-gain-x":  res.SpeculationGain,
+		}
+	}
+	return nil
+}
+
+// HeadlineReport is the machine-readable benchmark artifact
+// (BENCH_<pr>.json): every headline metric at a fixed seed.
+type HeadlineReport struct {
+	Seed        int64                         `json:"seed"`
+	Experiments map[string]map[string]float64 `json:"experiments"`
+}
+
+// Headlines runs every headline experiment at seed and collects the
+// extracted metrics. Deterministic: the same seed yields the same report.
+func Headlines(seed int64) (*HeadlineReport, error) {
+	rep := &HeadlineReport{Seed: seed, Experiments: map[string]map[string]float64{}}
+	for _, id := range HeadlineIDs {
+		spec, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %s", id)
+		}
+		r, err := spec.Run(seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		rep.Experiments[id] = HeadlineMetrics(id, r)
+	}
+	return rep, nil
+}
+
+// JSON renders the report stably: indented, keys sorted (encoding/json
+// sorts map keys), trailing newline.
+func (hr *HeadlineReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(hr, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

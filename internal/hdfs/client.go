@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -46,6 +47,11 @@ type Client struct {
 	cost cluster.CostModel
 	net  *cluster.Network
 	from cluster.NodeID
+
+	// obs and m feed the cluster-wide observability registry (m is the
+	// shared client metric bundle; both may be nil for detached clients).
+	obs *obs.Registry
+	m   *clientMetrics
 
 	// Meter records modelled I/O cost and locality for this client.
 	Meter Meter
@@ -192,6 +198,17 @@ func (c *Client) writeBlock(f *inode, data []byte) error {
 	}
 	c.nn.commitBlock(f, id, int64(len(data)), written)
 	c.Meter.BytesWritten += int64(len(data))
+	c.m.pipelineWrites.Inc()
+	c.m.bytesWritten.Add(int64(len(data)))
+	if len(written) < len(targets) {
+		c.m.pipelineShrunk.Inc()
+	}
+	start := c.eng.Now()
+	c.obs.Span(SpanWritePipeline, time.Duration(start), time.Duration(start)+bottleneck, map[string]string{
+		"block":    fmt.Sprint(id),
+		"bytes":    fmt.Sprint(len(data)),
+		"replicas": fmt.Sprint(len(written)),
+	})
 	c.charge(false, bottleneck)
 	return nil
 }
@@ -230,6 +247,7 @@ func (c *Client) readBlock(id BlockID) ([]byte, error) {
 			if errors.As(err, &ce) {
 				c.nn.markCorrupt(id, nodeID)
 			}
+			c.m.readRetries.Inc()
 			continue
 		}
 		dist := c.distanceTo(nodeID)
@@ -237,11 +255,18 @@ func (c *Client) readBlock(id BlockID) ([]byte, error) {
 		switch {
 		case dist == 0:
 			c.Meter.BytesReadLocal += int64(len(data))
+			c.m.readsLocal.Inc()
+			c.m.bytesReadLocal.Add(int64(len(data)))
 		case dist <= 2:
 			c.Meter.BytesReadRack += int64(len(data))
+			c.m.readsRack.Inc()
+			c.m.bytesReadRack.Add(int64(len(data)))
 		default:
 			c.Meter.BytesReadRemote += int64(len(data))
+			c.m.readsRemote.Inc()
+			c.m.bytesReadRemote.Add(int64(len(data)))
 		}
+		c.m.readBlockTime.Observe(total)
 		c.charge(true, total)
 		return data, nil
 	}

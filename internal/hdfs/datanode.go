@@ -24,6 +24,9 @@ type DataNode struct {
 	used   int64
 	alive  bool
 
+	// m is the cluster-wide DataNode metric bundle (shared by all nodes).
+	m *dnMetrics
+
 	// preloadedBytes models data that sits on the node's disk without a
 	// real payload in the simulation — e.g. the 171 GB Google Trace the
 	// paper pre-loaded on the dedicated cluster. It only affects the
@@ -153,6 +156,7 @@ func (dn *DataNode) muted() bool { return dn.eng.Now() < dn.muteUntil }
 
 func (dn *DataNode) sendHeartbeat() {
 	if dn.alive && !dn.muted() {
+		dn.m.heartbeatsSent.Inc()
 		dn.nn.heartbeat(dn.id)
 	}
 }
@@ -161,6 +165,7 @@ func (dn *DataNode) sendBlockReport() {
 	if !dn.alive || dn.muted() {
 		return
 	}
+	dn.m.blockReportsSent.Inc()
 	dn.nn.blockReport(dn.id, dn.BlockIDs())
 }
 
@@ -182,7 +187,11 @@ func (dn *DataNode) writeBlock(id BlockID, data []byte) (time.Duration, error) {
 	cp := append([]byte(nil), data...)
 	dn.blocks[id] = &storedBlock{data: cp, sum: checksum(cp)}
 	dn.used += int64(len(cp))
-	return dn.cost.DiskWrite(int64(len(cp))), nil
+	cost := dn.cost.DiskWrite(int64(len(cp)))
+	dn.m.blocksWritten.Inc()
+	dn.m.bytesWritten.Add(int64(len(cp)))
+	dn.m.diskWriteTime.Observe(cost)
+	return cost, nil
 }
 
 // readBlock returns a replica's bytes after verifying its checksum, plus
@@ -197,8 +206,12 @@ func (dn *DataNode) readBlock(id BlockID) ([]byte, time.Duration, error) {
 	}
 	cost := dn.cost.DiskRead(int64(len(sb.data)))
 	if checksum(sb.data) != sb.sum {
+		dn.m.checksumFailures.Inc()
 		return nil, cost, &ChecksumError{Block: id, Node: dn.node.Hostname}
 	}
+	dn.m.blocksRead.Inc()
+	dn.m.bytesRead.Add(int64(len(sb.data)))
+	dn.m.diskReadTime.Observe(cost)
 	return sb.data, cost, nil
 }
 
@@ -207,6 +220,7 @@ func (dn *DataNode) deleteBlock(id BlockID) {
 	if sb, ok := dn.blocks[id]; ok {
 		dn.used -= int64(len(sb.data))
 		delete(dn.blocks, id)
+		dn.m.blocksDeleted.Inc()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -19,8 +20,13 @@ type MiniDFS struct {
 	// Net is the mutable connectivity overlay every data-plane transfer
 	// consults — the injection point for partition faults.
 	Net *cluster.Network
+	// Obs collects every metric and span the cluster emits; one registry
+	// spans NameNode, DataNodes, clients and (when layered on top) the
+	// MapReduce runtime.
+	Obs *obs.Registry
 
 	datanodes []*DataNode
+	cm        *clientMetrics
 }
 
 // Options configures a MiniDFS build.
@@ -32,6 +38,9 @@ type Options struct {
 	// MetadataFS, when set, persists the NameNode's namespace (fsimage +
 	// edit log) so RestartFromDisk can rebuild it — see journal.go.
 	MetadataFS vfs.FileSystem
+	// Obs, when set, receives the cluster's metrics and spans; a fresh
+	// registry is created otherwise.
+	Obs *obs.Registry
 }
 
 // NewMiniDFS creates and starts a cluster on the engine and topology. The
@@ -48,10 +57,15 @@ func NewMiniDFS(eng *sim.Engine, topo *cluster.Topology, opts Options) (*MiniDFS
 	cfg := opts.Config.withDefaults()
 	rng := sim.NewRand(opts.Seed).Derive("namenode")
 	net := cluster.NewNetwork(topo)
-	nn := newNameNode(eng, topo, cost, cfg, rng)
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	nn := newNameNode(eng, topo, cost, cfg, rng, reg)
 	nn.metaFS = opts.MetadataFS
 	nn.net = net
-	d := &MiniDFS{Engine: eng, Topology: topo, Cost: cost, NN: nn, Net: net}
+	d := &MiniDFS{Engine: eng, Topology: topo, Cost: cost, NN: nn, Net: net, Obs: reg, cm: newClientMetrics(reg)}
+	dnm := newDNMetrics(reg)
 	for _, n := range topo.Nodes() {
 		dn := &DataNode{
 			id:     n.ID,
@@ -60,6 +74,7 @@ func NewMiniDFS(eng *sim.Engine, topo *cluster.Topology, opts Options) (*MiniDFS
 			eng:    eng,
 			cost:   cost,
 			blocks: map[BlockID]*storedBlock{},
+			m:      dnm,
 		}
 		nn.datanodes[n.ID] = dn
 		d.datanodes = append(d.datanodes, dn)
@@ -92,6 +107,8 @@ func (d *MiniDFS) Client(from cluster.NodeID) *Client {
 		cost: d.Cost,
 		net:  d.Net,
 		from: from,
+		obs:  d.Obs,
+		m:    d.cm,
 	}
 }
 

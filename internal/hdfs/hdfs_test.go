@@ -178,8 +178,8 @@ func TestCorruptionDetectedAndRepaired(t *testing.T) {
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("read with corrupt local replica: err=%v", err)
 	}
-	if d.NN.CorruptionsDetected != 1 {
-		t.Fatalf("corruptions detected = %d", d.NN.CorruptionsDetected)
+	if d.NN.CorruptionsDetected() != 1 {
+		t.Fatalf("corruptions detected = %d", d.NN.CorruptionsDetected())
 	}
 	// Replication monitor restores the third replica.
 	d.Engine.Advance(time.Minute)
@@ -400,7 +400,7 @@ func TestDataNodeRestartIntegrityScanTakesTime(t *testing.T) {
 	if !rep.Healthy() {
 		t.Fatalf("node never reported back:\n%s", rep)
 	}
-	if d.NN.SafeModeExitedAt <= restartAt {
+	if d.NN.SafeModeExitedAt() <= restartAt {
 		// Safe mode was already off; fine — the assertion above covers
 		// the scan delay.
 		t.Log("safe mode was not re-entered (expected: only NN restarts re-enter)")

@@ -59,7 +59,7 @@ func (nn *NameNode) journal(rec editRecord) {
 		_ = nn.metaFS.Remove(editsPath, false)
 	}
 	_ = vfs.WriteFile(nn.metaFS, editsPath, append(existing, append(line, '\n')...))
-	nn.EditLogRecords++
+	nn.m.editLogRecords.Inc()
 }
 
 // journalFileComplete records a finished file with its blocks.
@@ -125,7 +125,7 @@ func (nn *NameNode) Checkpoint() (int, error) {
 			return 0, err
 		}
 	}
-	nn.Checkpoints++
+	nn.m.checkpoints.Inc()
 	return entries, nil
 }
 
@@ -253,6 +253,8 @@ func (nn *NameNode) RestartFromDisk() error {
 		return err
 	}
 	nn.safeMode = true
+	nn.safeModeEnteredAt = nn.eng.Now()
+	nn.m.safeMode.Set(1)
 	nn.dns = map[cluster.NodeID]*dnInfo{}
 	nn.pendingRepl = map[BlockID]bool{}
 	return nil

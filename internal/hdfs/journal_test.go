@@ -46,7 +46,7 @@ func TestEditLogReplayRebuildsNamespace(t *testing.T) {
 	if err := c.SetReplication("/a/kept.txt", 4); err != nil {
 		t.Fatal(err)
 	}
-	if d.NN.EditLogRecords == 0 {
+	if d.NN.EditLogRecords() == 0 {
 		t.Fatal("nothing journaled")
 	}
 	before := treeString(t, c)

@@ -1,0 +1,156 @@
+package hdfs
+
+import "repro/internal/obs"
+
+// Metric names emitted by the HDFS layer. The full taxonomy is
+// documented in docs/OBSERVABILITY.md.
+const (
+	// NameNode (control plane).
+	MetricNNBlocksAllocated       = "hdfs.nn.blocks_allocated"
+	MetricNNReplicationsScheduled = "hdfs.nn.replications_scheduled"
+	MetricNNReplicationsCompleted = "hdfs.nn.replications_completed"
+	MetricNNCorruptionsDetected   = "hdfs.nn.corruptions_detected"
+	MetricNNExcessReplicasDropped = "hdfs.nn.excess_replicas_dropped"
+	MetricNNDataNodesDeclaredDead = "hdfs.nn.datanodes_declared_dead"
+	MetricNNRegistrations         = "hdfs.nn.registrations"
+	MetricNNHeartbeats            = "hdfs.nn.heartbeats"
+	MetricNNBlockReports          = "hdfs.nn.block_reports"
+	MetricNNEditLogRecords        = "hdfs.nn.editlog_records"
+	MetricNNCheckpoints           = "hdfs.nn.checkpoints"
+	MetricNNSafeMode              = "hdfs.nn.safemode"
+	MetricNNSafeModeExits         = "hdfs.nn.safemode_exits"
+	MetricNNSafeModeExitedAt      = "hdfs.nn.safemode_exited_at_ns"
+	MetricNNHeartbeatGap          = "hdfs.nn.heartbeat_gap"
+
+	// DataNodes (aggregate across all nodes; spans carry per-node detail).
+	MetricDNHeartbeatsSent   = "hdfs.dn.heartbeats_sent"
+	MetricDNBlockReportsSent = "hdfs.dn.block_reports_sent"
+	MetricDNBlocksWritten    = "hdfs.dn.blocks_written"
+	MetricDNBytesWritten     = "hdfs.dn.bytes_written"
+	MetricDNBlocksRead       = "hdfs.dn.blocks_read"
+	MetricDNBytesRead        = "hdfs.dn.bytes_read"
+	MetricDNBlocksDeleted    = "hdfs.dn.blocks_deleted"
+	MetricDNChecksumFailures = "hdfs.dn.checksum_failures"
+	MetricDNDiskReadTime     = "hdfs.dn.disk_read_time"
+	MetricDNDiskWriteTime    = "hdfs.dn.disk_write_time"
+
+	// Clients (data plane, locality hit/miss).
+	MetricClientReadsLocal      = "hdfs.client.reads_local"
+	MetricClientReadsRack       = "hdfs.client.reads_rack"
+	MetricClientReadsRemote     = "hdfs.client.reads_remote"
+	MetricClientBytesReadLocal  = "hdfs.client.bytes_read_local"
+	MetricClientBytesReadRack   = "hdfs.client.bytes_read_rack"
+	MetricClientBytesReadRemote = "hdfs.client.bytes_read_remote"
+	MetricClientBytesWritten    = "hdfs.client.bytes_written"
+	MetricClientPipelineWrites  = "hdfs.client.pipeline_writes"
+	MetricClientPipelineShrunk  = "hdfs.client.pipeline_shrunk"
+	MetricClientReadRetries     = "hdfs.client.read_retries"
+	MetricClientReadBlockTime   = "hdfs.client.read_block_time"
+
+	// Span names.
+	SpanSafeMode      = "hdfs.safemode"
+	SpanRereplicate   = "hdfs.rereplicate"
+	SpanWritePipeline = "hdfs.write_pipeline"
+)
+
+// nnMetrics holds the NameNode's interned metric handles so the hot
+// paths never touch the registry map.
+type nnMetrics struct {
+	blocksAllocated       *obs.Counter
+	replicationsScheduled *obs.Counter
+	replicationsCompleted *obs.Counter
+	corruptionsDetected   *obs.Counter
+	excessReplicasDropped *obs.Counter
+	datanodesDeclaredDead *obs.Counter
+	registrations         *obs.Counter
+	heartbeats            *obs.Counter
+	blockReports          *obs.Counter
+	editLogRecords        *obs.Counter
+	checkpoints           *obs.Counter
+	safeMode              *obs.Gauge
+	safeModeExits         *obs.Counter
+	safeModeExitedAt      *obs.Gauge
+	heartbeatGap          *obs.Histogram
+}
+
+func newNNMetrics(r *obs.Registry) nnMetrics {
+	return nnMetrics{
+		blocksAllocated:       r.Counter(MetricNNBlocksAllocated),
+		replicationsScheduled: r.Counter(MetricNNReplicationsScheduled),
+		replicationsCompleted: r.Counter(MetricNNReplicationsCompleted),
+		corruptionsDetected:   r.Counter(MetricNNCorruptionsDetected),
+		excessReplicasDropped: r.Counter(MetricNNExcessReplicasDropped),
+		datanodesDeclaredDead: r.Counter(MetricNNDataNodesDeclaredDead),
+		registrations:         r.Counter(MetricNNRegistrations),
+		heartbeats:            r.Counter(MetricNNHeartbeats),
+		blockReports:          r.Counter(MetricNNBlockReports),
+		editLogRecords:        r.Counter(MetricNNEditLogRecords),
+		checkpoints:           r.Counter(MetricNNCheckpoints),
+		safeMode:              r.Gauge(MetricNNSafeMode),
+		safeModeExits:         r.Counter(MetricNNSafeModeExits),
+		safeModeExitedAt:      r.Gauge(MetricNNSafeModeExitedAt),
+		heartbeatGap:          r.Histogram(MetricNNHeartbeatGap),
+	}
+}
+
+// dnMetrics aggregates data-plane activity across every DataNode; all
+// DataNodes of a cluster share one bundle.
+type dnMetrics struct {
+	heartbeatsSent   *obs.Counter
+	blockReportsSent *obs.Counter
+	blocksWritten    *obs.Counter
+	bytesWritten     *obs.Counter
+	blocksRead       *obs.Counter
+	bytesRead        *obs.Counter
+	blocksDeleted    *obs.Counter
+	checksumFailures *obs.Counter
+	diskReadTime     *obs.Histogram
+	diskWriteTime    *obs.Histogram
+}
+
+func newDNMetrics(r *obs.Registry) *dnMetrics {
+	return &dnMetrics{
+		heartbeatsSent:   r.Counter(MetricDNHeartbeatsSent),
+		blockReportsSent: r.Counter(MetricDNBlockReportsSent),
+		blocksWritten:    r.Counter(MetricDNBlocksWritten),
+		bytesWritten:     r.Counter(MetricDNBytesWritten),
+		blocksRead:       r.Counter(MetricDNBlocksRead),
+		bytesRead:        r.Counter(MetricDNBytesRead),
+		blocksDeleted:    r.Counter(MetricDNBlocksDeleted),
+		checksumFailures: r.Counter(MetricDNChecksumFailures),
+		diskReadTime:     r.Histogram(MetricDNDiskReadTime),
+		diskWriteTime:    r.Histogram(MetricDNDiskWriteTime),
+	}
+}
+
+// clientMetrics aggregates HDFS client activity; every client of a
+// cluster shares one bundle (clients are cheap per-call values).
+type clientMetrics struct {
+	readsLocal      *obs.Counter
+	readsRack       *obs.Counter
+	readsRemote     *obs.Counter
+	bytesReadLocal  *obs.Counter
+	bytesReadRack   *obs.Counter
+	bytesReadRemote *obs.Counter
+	bytesWritten    *obs.Counter
+	pipelineWrites  *obs.Counter
+	pipelineShrunk  *obs.Counter
+	readRetries     *obs.Counter
+	readBlockTime   *obs.Histogram
+}
+
+func newClientMetrics(r *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		readsLocal:      r.Counter(MetricClientReadsLocal),
+		readsRack:       r.Counter(MetricClientReadsRack),
+		readsRemote:     r.Counter(MetricClientReadsRemote),
+		bytesReadLocal:  r.Counter(MetricClientBytesReadLocal),
+		bytesReadRack:   r.Counter(MetricClientBytesReadRack),
+		bytesReadRemote: r.Counter(MetricClientBytesReadRemote),
+		bytesWritten:    r.Counter(MetricClientBytesWritten),
+		pipelineWrites:  r.Counter(MetricClientPipelineWrites),
+		pipelineShrunk:  r.Counter(MetricClientPipelineShrunk),
+		readRetries:     r.Counter(MetricClientReadRetries),
+		readBlockTime:   r.Histogram(MetricClientReadBlockTime),
+	}
+}

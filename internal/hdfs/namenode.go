@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -98,19 +99,37 @@ type NameNode struct {
 	// metaFS, when set, persists the namespace (fsimage + edit log);
 	// see journal.go.
 	metaFS vfs.FileSystem
-	// EditLogRecords and Checkpoints count persistence activity.
-	EditLogRecords int64
-	Checkpoints    int
 
-	// Stats the experiments read.
-	ReplicationsScheduled int64
-	CorruptionsDetected   int64
-	SafeModeExitedAt      sim.Time
+	// obs is the cluster-wide observability registry; m holds the
+	// NameNode's interned metric handles (see metrics.go).
+	obs *obs.Registry
+	m   nnMetrics
+
+	// safeModeEnteredAt anchors the hdfs.safemode span emitted on exit.
+	safeModeEnteredAt sim.Time
 }
 
+// EditLogRecords reports how many edit-log records have been journalled.
+func (nn *NameNode) EditLogRecords() int64 { return nn.m.editLogRecords.Value() }
+
+// Checkpoints reports how many fsimage checkpoints have been written.
+func (nn *NameNode) Checkpoints() int { return int(nn.m.checkpoints.Value()) }
+
+// ReplicationsScheduled reports how many re-replication copies the
+// replication monitor has initiated.
+func (nn *NameNode) ReplicationsScheduled() int64 { return nn.m.replicationsScheduled.Value() }
+
+// CorruptionsDetected reports how many corrupt replicas readers or scans
+// have surfaced.
+func (nn *NameNode) CorruptionsDetected() int64 { return nn.m.corruptionsDetected.Value() }
+
+// SafeModeExitedAt reports the sim instant of the most recent safe-mode
+// exit (zero if the NameNode never left safe mode).
+func (nn *NameNode) SafeModeExitedAt() sim.Time { return sim.Time(nn.m.safeModeExitedAt.Value()) }
+
 // newNameNode constructs an unstarted NameNode.
-func newNameNode(eng *sim.Engine, topo *cluster.Topology, cost cluster.CostModel, cfg Config, rng *sim.Rand) *NameNode {
-	return &NameNode{
+func newNameNode(eng *sim.Engine, topo *cluster.Topology, cost cluster.CostModel, cfg Config, rng *sim.Rand, reg *obs.Registry) *NameNode {
+	nn := &NameNode{
 		eng:             eng,
 		topo:            topo,
 		cost:            cost,
@@ -123,7 +142,11 @@ func newNameNode(eng *sim.Engine, topo *cluster.Topology, cost cluster.CostModel
 		safeMode:        true,
 		pendingRepl:     map[BlockID]bool{},
 		decommissioning: map[cluster.NodeID]bool{},
+		obs:             reg,
+		m:               newNNMetrics(reg),
 	}
+	nn.m.safeMode.Set(1)
+	return nn
 }
 
 // start arms the liveness and replication monitors and the safe-mode exit
@@ -145,6 +168,8 @@ func (nn *NameNode) Config() Config { return nn.cfg }
 // The cluster re-enters safe mode until block reports rebuild the map.
 func (nn *NameNode) Restart() {
 	nn.safeMode = true
+	nn.safeModeEnteredAt = nn.eng.Now()
+	nn.m.safeMode.Set(1)
 	nn.dns = map[cluster.NodeID]*dnInfo{}
 	nn.pendingRepl = map[BlockID]bool{}
 	for _, bm := range nn.blocks {
@@ -158,6 +183,7 @@ func (nn *NameNode) Restart() {
 func (nn *NameNode) register(dn *DataNode) {
 	nn.datanodes[dn.id] = dn
 	nn.dns[dn.id] = &dnInfo{id: dn.id, lastHeartbeat: nn.eng.Now(), alive: true}
+	nn.m.registrations.Inc()
 }
 
 func (nn *NameNode) heartbeat(id cluster.NodeID) {
@@ -171,6 +197,8 @@ func (nn *NameNode) heartbeat(id cluster.NodeID) {
 		}
 		return
 	}
+	nn.m.heartbeats.Inc()
+	nn.m.heartbeatGap.Observe(time.Duration(nn.eng.Now() - info.lastHeartbeat))
 	info.lastHeartbeat = nn.eng.Now()
 	if !info.alive {
 		// A node returning from the dead (e.g. after a heartbeat-drop
@@ -189,6 +217,7 @@ func (nn *NameNode) blockReport(id cluster.NodeID, held []BlockID) {
 	if !ok {
 		return
 	}
+	nn.m.blockReports.Inc()
 	info.lastHeartbeat = nn.eng.Now()
 	heldSet := make(map[BlockID]bool, len(held))
 	for _, b := range held {
@@ -218,6 +247,7 @@ func (nn *NameNode) checkLiveness() {
 	for _, info := range nn.dns {
 		if info.alive && now-info.lastHeartbeat > nn.cfg.HeartbeatExpiry {
 			info.alive = false
+			nn.m.datanodesDeclaredDead.Inc()
 			// Replicas on a dead node no longer count; the replication
 			// monitor will notice the deficit on its next pass.
 			for _, bm := range nn.blocks {
@@ -251,7 +281,11 @@ func (nn *NameNode) maybeLeaveSafeMode() {
 
 func (nn *NameNode) exitSafeMode() {
 	nn.safeMode = false
-	nn.SafeModeExitedAt = nn.eng.Now()
+	now := nn.eng.Now()
+	nn.m.safeMode.Set(0)
+	nn.m.safeModeExits.Inc()
+	nn.m.safeModeExitedAt.Set(int64(now))
+	nn.obs.Span(SpanSafeMode, time.Duration(nn.safeModeEnteredAt), time.Duration(now), nil)
 }
 
 // liveReplicas counts confirmed replicas on live, non-draining nodes,
@@ -403,6 +437,7 @@ func (nn *NameNode) allocateBlock(f *inode, writer cluster.NodeID) (BlockID, []c
 	}
 	nn.nextBlock++
 	id := nn.nextBlock
+	nn.m.blocksAllocated.Inc()
 	nn.blocks[id] = &blockMeta{
 		id:       id,
 		expected: f.repl,
@@ -574,7 +609,7 @@ func (nn *NameNode) markCorrupt(id BlockID, node cluster.NodeID) {
 	}
 	if !bm.corrupt[node] {
 		bm.corrupt[node] = true
-		nn.CorruptionsDetected++
+		nn.m.corruptionsDetected.Inc()
 	}
 	delete(bm.replicas, node)
 	if dn := nn.datanodes[node]; dn != nil {
@@ -662,9 +697,15 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 		return
 	}
 	nn.pendingRepl[bm.id] = true
-	nn.ReplicationsScheduled++
+	nn.m.replicationsScheduled.Inc()
 	xfer := nn.cost.Transfer(nn.topo.Distance(src, dst), int64(len(data)))
 	blockID := bm.id
+	start := nn.eng.Now()
+	nn.obs.Span(SpanRereplicate, time.Duration(start), time.Duration(start)+readCost+xfer, map[string]string{
+		"block": fmt.Sprint(blockID),
+		"src":   fmt.Sprint(src),
+		"dst":   fmt.Sprint(dst),
+	})
 	nn.eng.After(readCost+xfer, func() {
 		delete(nn.pendingRepl, blockID)
 		meta, ok := nn.blocks[blockID]
@@ -678,6 +719,7 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 			return
 		}
 		meta.replicas[dst] = true
+		nn.m.replicationsCompleted.Inc()
 	})
 }
 
@@ -704,6 +746,7 @@ func (nn *NameNode) dropExcessReplica(bm *blockMeta) {
 		return
 	}
 	delete(bm.replicas, victim)
+	nn.m.excessReplicasDropped.Inc()
 	if dn := nn.datanodes[victim]; dn != nil {
 		dn.deleteBlock(bm.id)
 	}

@@ -132,9 +132,14 @@ type JobTracker struct {
 	jobSeq int
 	faults []TaskFault
 
-	// Stats for experiments.
-	TotalTrackerLosses int
+	// m holds the JobTracker's interned metric handles (see metrics.go);
+	// spans land on the cluster's shared registry.
+	m jtMetrics
 }
+
+// TotalTrackerLosses reports how many TaskTracker losses the JobTracker
+// has processed.
+func (jt *JobTracker) TotalTrackerLosses() int { return int(jt.m.trackerLosses.Value()) }
 
 func newJobTracker(mc *MRCluster, rng *sim.Rand) *JobTracker {
 	jt := &JobTracker{
@@ -142,6 +147,7 @@ func newJobTracker(mc *MRCluster, rng *sim.Rand) *JobTracker {
 		rng:        rng,
 		trackers:   map[cluster.NodeID]*TaskTracker{},
 		hostToNode: map[string]cluster.NodeID{},
+		m:          newJTMetrics(mc.Obs),
 	}
 	for _, n := range mc.Topology.Nodes() {
 		jt.hostToNode[n.Hostname] = n.ID
@@ -184,7 +190,7 @@ func (jt *JobTracker) handleTrackerLoss(tt *TaskTracker) {
 	if tt.hbTicker != nil {
 		tt.hbTicker.Stop()
 	}
-	jt.TotalTrackerLosses++
+	jt.m.trackerLosses.Inc()
 	for _, jr := range jt.jobs {
 		if jr.state != jobRunning {
 			continue
@@ -231,9 +237,32 @@ func (jt *JobTracker) killAttempt(a *attempt, reason string) {
 		_ = jt.mc.DFS.Client(a.tt.id).Remove(a.tempPath, false)
 	}
 	a.t.jr.counters.Inc(mapreduce.CtrKilledTaskAttempts, 1)
+	jt.m.attemptsKilled.Inc()
+	jt.attemptSpan(a, "killed:"+reason)
 	if a.t.state == taskRunning && len(a.t.attempts) == 0 {
 		a.t.state = taskPending
 	}
+}
+
+// attemptSpan records a task attempt's lifetime span with its outcome.
+func (jt *JobTracker) attemptSpan(a *attempt, outcome string) {
+	name := SpanReduceAttempt
+	if a.t.isMap {
+		name = SpanMapAttempt
+	}
+	attrs := map[string]string{
+		"attempt": a.id(),
+		"job":     a.t.jr.id,
+		"node":    a.tt.node.Hostname,
+		"outcome": outcome,
+	}
+	if a.t.isMap {
+		attrs["locality"] = fmt.Sprint(a.locality)
+	}
+	if a.speculative {
+		attrs["speculative"] = "true"
+	}
+	jt.mc.Obs.Span(name, time.Duration(a.startedAt), time.Duration(jt.mc.Engine.Now()), attrs)
 }
 
 func (t *task) removeAttempt(a *attempt) {
@@ -288,6 +317,7 @@ func (jt *JobTracker) submit(job *mapreduce.Job) (*JobHandle, error) {
 	}
 	jr.handle = &JobHandle{jr: jr}
 	jt.jobs = append(jt.jobs, jr)
+	jt.m.jobsSubmitted.Inc()
 	jt.schedule()
 	return jr.handle, nil
 }
@@ -397,6 +427,7 @@ func (jt *JobTracker) localityRank(t *task, tt *TaskTracker) int {
 }
 
 func (jt *JobTracker) schedule() {
+	jt.m.schedulePasses.Inc()
 	// Map assignment in three locality rounds: first give every free slot
 	// its data-local tasks, then rack-local, then anything. Assigning
 	// strictly by rank keeps a slot from greedily stealing a task that is
@@ -509,8 +540,10 @@ func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool
 	t.attempts = append(t.attempts, a)
 	t.state = taskRunning
 	jr.counters.Inc(mapreduce.CtrLaunchedMaps, 1)
+	jt.m.mapsLaunched.Inc()
 	if speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeLaunch, 1)
+		jt.m.speculativeLaunch.Inc()
 	}
 
 	// Execute the user code now (real data, exact results); the modelled
@@ -611,16 +644,21 @@ func (jt *JobTracker) completeMapAttempt(a *attempt, out *mapreduce.MapOutput, c
 	jr.mapDurations = append(jr.mapDurations, dur)
 	jr.counters.Merge(ctx.Counters)
 	jr.counters.Inc(mapreduce.CtrHDFSBytesRead, meter.BytesRead())
+	jt.m.mapAttemptTime.Observe(dur)
+	jt.attemptSpan(a, "succeeded")
 	if a.speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
 	}
 	switch a.locality {
 	case 0:
 		jr.counters.Inc(mapreduce.CtrDataLocalMaps, 1)
+		jt.m.mapsDataLocal.Inc()
 	case 1:
 		jr.counters.Inc(mapreduce.CtrRackLocalMaps, 1)
+		jt.m.mapsRackLocal.Inc()
 	default:
 		jr.counters.Inc(mapreduce.CtrRemoteMaps, 1)
+		jt.m.mapsRemote.Inc()
 	}
 	if jr.mapsDone == len(jr.maps) && jr.mapsDoneAt == 0 {
 		jr.mapsDoneAt = jt.mc.Engine.Now()
@@ -638,6 +676,8 @@ func (jt *JobTracker) failMapAttempt(a *attempt, cause error, crashDaemons bool)
 	t.removeAttempt(a)
 	jr.counters.Inc(mapreduce.CtrFailedMaps, 1)
 	jr.counters.Inc(mapreduce.CtrTaskRetries, 1)
+	jt.m.mapsFailed.Inc()
+	jt.attemptSpan(a, "failed")
 	t.failures++
 	if len(t.attempts) == 0 && t.state != taskDone {
 		t.state = taskPending
@@ -705,8 +745,10 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 	t.attempts = append(t.attempts, a)
 	t.state = taskRunning
 	jr.counters.Inc(mapreduce.CtrLaunchedReduces, 1)
+	jt.m.reducesLaunched.Inc()
 	if speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeLaunch, 1)
+		jt.m.speculativeLaunch.Inc()
 	}
 
 	// Shuffle cost: fetch this reducer's partition from every map node,
@@ -741,6 +783,8 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 		// Compress at the map side, decompress at the reduce side.
 		shuffleTime += jt.mc.cfg.CompressWork.Cost(2*rawBytes, 0)
 	}
+	jt.m.shuffleBytes.Add(shuffleBytes)
+	jt.m.shuffleTime.Observe(shuffleTime)
 
 	client := jt.mc.DFS.Client(tt.id)
 	ctx := mapreduce.NewTaskContext(jr.id, a.id(), client, jr.job)
@@ -860,6 +904,8 @@ func (jt *JobTracker) completeReduceAttempt(a *attempt, ctx *mapreduce.TaskConte
 	jr.reduceDurations = append(jr.reduceDurations, dur)
 	jr.counters.Merge(ctx.Counters)
 	jr.counters.Inc(mapreduce.CtrHDFSBytesWritten, bytesWritten)
+	jt.m.reduceAttemptTime.Observe(dur)
+	jt.attemptSpan(a, "succeeded")
 	if a.speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
 	}
@@ -884,6 +930,8 @@ func (jt *JobTracker) failReduceAttempt(a *attempt, cause error, crashDaemons bo
 	}
 	jr.counters.Inc(mapreduce.CtrFailedReduces, 1)
 	jr.counters.Inc(mapreduce.CtrTaskRetries, 1)
+	jt.m.reducesFailed.Inc()
+	jt.attemptSpan(a, "failed")
 	t.failures++
 	if len(t.attempts) == 0 && t.state != taskDone {
 		t.state = taskPending
@@ -972,13 +1020,26 @@ func (jt *JobTracker) finishJob(jr *jobRun) {
 	_ = vfs.WriteFile(client, vfs.Join(jr.job.OutputPath, "_SUCCESS"), nil)
 	jr.state = jobSucceeded
 	jr.finishedAt = jt.mc.Engine.Now()
+	jt.m.jobsSucceeded.Inc()
+	jt.jobSpan(jr, "succeeded")
 	jt.schedule()
+}
+
+// jobSpan records a job's submit-to-finish span with its outcome.
+func (jt *JobTracker) jobSpan(jr *jobRun, outcome string) {
+	jt.mc.Obs.Span(SpanJob, time.Duration(jr.submittedAt), time.Duration(jr.finishedAt), map[string]string{
+		"job":     jr.id,
+		"name":    jr.job.Name,
+		"outcome": outcome,
+	})
 }
 
 func (jt *JobTracker) failJob(jr *jobRun, cause error) {
 	jr.state = jobFailed
 	jr.err = cause
 	jr.finishedAt = jt.mc.Engine.Now()
+	jt.m.jobsFailed.Inc()
+	jt.jobSpan(jr, "failed")
 	for _, t := range append(append([]*task(nil), jr.maps...), jr.reduces...) {
 		for _, a := range append([]*attempt(nil), t.attempts...) {
 			jt.killAttempt(a, "job failed")

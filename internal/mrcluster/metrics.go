@@ -1,0 +1,76 @@
+package mrcluster
+
+import "repro/internal/obs"
+
+// Metric names emitted by the MapReduce runtime. The full taxonomy is
+// documented in docs/OBSERVABILITY.md.
+const (
+	MetricJTJobsSubmitted     = "mr.jt.jobs_submitted"
+	MetricJTJobsSucceeded     = "mr.jt.jobs_succeeded"
+	MetricJTJobsFailed        = "mr.jt.jobs_failed"
+	MetricJTMapsLaunched      = "mr.jt.maps_launched"
+	MetricJTReducesLaunched   = "mr.jt.reduces_launched"
+	MetricJTSpeculativeLaunch = "mr.jt.speculative_launched"
+	MetricJTMapsFailed        = "mr.jt.maps_failed"
+	MetricJTReducesFailed     = "mr.jt.reduces_failed"
+	MetricJTAttemptsKilled    = "mr.jt.attempts_killed"
+	MetricJTTrackerLosses     = "mr.jt.tracker_losses"
+	MetricJTSchedulePasses    = "mr.jt.schedule_passes"
+	MetricJTShuffleBytes      = "mr.jt.shuffle_bytes"
+	MetricJTMapsDataLocal     = "mr.jt.maps_data_local"
+	MetricJTMapsRackLocal     = "mr.jt.maps_rack_local"
+	MetricJTMapsRemote        = "mr.jt.maps_remote"
+	MetricMapAttemptTime      = "mr.map_attempt_time"
+	MetricReduceAttemptTime   = "mr.reduce_attempt_time"
+	MetricShuffleTime         = "mr.shuffle_time"
+
+	// Span names.
+	SpanMapAttempt    = "mr.map_attempt"
+	SpanReduceAttempt = "mr.reduce_attempt"
+	SpanJob           = "mr.job"
+)
+
+// jtMetrics holds the JobTracker's interned metric handles.
+type jtMetrics struct {
+	jobsSubmitted     *obs.Counter
+	jobsSucceeded     *obs.Counter
+	jobsFailed        *obs.Counter
+	mapsLaunched      *obs.Counter
+	reducesLaunched   *obs.Counter
+	speculativeLaunch *obs.Counter
+	mapsFailed        *obs.Counter
+	reducesFailed     *obs.Counter
+	attemptsKilled    *obs.Counter
+	trackerLosses     *obs.Counter
+	schedulePasses    *obs.Counter
+	shuffleBytes      *obs.Counter
+	mapsDataLocal     *obs.Counter
+	mapsRackLocal     *obs.Counter
+	mapsRemote        *obs.Counter
+	mapAttemptTime    *obs.Histogram
+	reduceAttemptTime *obs.Histogram
+	shuffleTime       *obs.Histogram
+}
+
+func newJTMetrics(r *obs.Registry) jtMetrics {
+	return jtMetrics{
+		jobsSubmitted:     r.Counter(MetricJTJobsSubmitted),
+		jobsSucceeded:     r.Counter(MetricJTJobsSucceeded),
+		jobsFailed:        r.Counter(MetricJTJobsFailed),
+		mapsLaunched:      r.Counter(MetricJTMapsLaunched),
+		reducesLaunched:   r.Counter(MetricJTReducesLaunched),
+		speculativeLaunch: r.Counter(MetricJTSpeculativeLaunch),
+		mapsFailed:        r.Counter(MetricJTMapsFailed),
+		reducesFailed:     r.Counter(MetricJTReducesFailed),
+		attemptsKilled:    r.Counter(MetricJTAttemptsKilled),
+		trackerLosses:     r.Counter(MetricJTTrackerLosses),
+		schedulePasses:    r.Counter(MetricJTSchedulePasses),
+		shuffleBytes:      r.Counter(MetricJTShuffleBytes),
+		mapsDataLocal:     r.Counter(MetricJTMapsDataLocal),
+		mapsRackLocal:     r.Counter(MetricJTMapsRackLocal),
+		mapsRemote:        r.Counter(MetricJTMapsRemote),
+		mapAttemptTime:    r.Histogram(MetricMapAttemptTime),
+		reduceAttemptTime: r.Histogram(MetricReduceAttemptTime),
+		shuffleTime:       r.Histogram(MetricShuffleTime),
+	}
+}

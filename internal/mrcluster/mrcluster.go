@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -193,6 +194,9 @@ type MRCluster struct {
 	DFS      *hdfs.MiniDFS
 	Net      *cluster.Network
 	JT       *JobTracker
+	// Obs is the cluster-wide observability registry, shared with the
+	// underlying MiniDFS so one snapshot covers storage and compute.
+	Obs *obs.Registry
 
 	trackers []*TaskTracker
 	cfg      Config
@@ -211,6 +215,7 @@ func NewMRCluster(dfs *hdfs.MiniDFS, cfg Config, seed int64) *MRCluster {
 		Cost:     dfs.Cost,
 		DFS:      dfs,
 		Net:      dfs.Net,
+		Obs:      dfs.Obs,
 		cfg:      cfg,
 		slow:     map[cluster.NodeID]float64{},
 	}

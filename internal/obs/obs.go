@@ -1,0 +1,361 @@
+// Package obs is the unified observability layer of the minihadoop
+// stack: a deterministic metrics registry (counters, gauges, sim-time
+// histograms) and a span tracer keyed on the virtual clock. Every
+// subsystem — NameNode, DataNodes, HDFS clients, JobTracker,
+// TaskTrackers, the serial runner — emits through one Registry, so a
+// whole run condenses into a single Snapshot.
+//
+// Because the simulation is deterministic, a snapshot is a replayable
+// artifact: the same seed produces a byte-identical WriteJSON export,
+// which is what makes golden-trace testing possible (see
+// internal/jobs/golden_trace_test.go).
+//
+// Hot paths allocate nothing: call sites intern *Counter / *Gauge /
+// *Histogram handles once at construction and then Add/Set/Observe on
+// plain atomics (histograms take a short mutex). The registry is safe
+// for concurrent use — the serial runner's parallel map tasks hit it
+// from real goroutines.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically accumulating int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins int64 metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of exponential histogram buckets: bucket i
+// holds observations with d <= 1µs<<i; the final bucket is +Inf.
+const histBuckets = 33
+
+// histBound returns the inclusive upper bound of bucket i in
+// nanoseconds, or -1 for the overflow bucket.
+func histBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return int64(time.Microsecond) << uint(i)
+}
+
+// Histogram accumulates virtual-time durations into exponential
+// power-of-two buckets from 1µs to ~1.2h, plus an overflow bucket.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	buckets [histBuckets]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < histBuckets-1 && int64(d) > histBound(i) {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Span is one completed operation on the virtual clock. Start and End
+// are instants on the sim engine's clock (durations since engine start).
+type Span struct {
+	Name  string            `json:"name"`
+	Start time.Duration     `json:"start_ns"`
+	End   time.Duration     `json:"end_ns"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's extent.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Registry holds every metric and span of one cluster (or one
+// standalone run). The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    []Span
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter interns and returns the named counter. Call once at
+// construction and keep the handle; Add on the handle is the hot path.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge interns and returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram interns and returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span records a completed span. Callers pass explicit virtual-clock
+// instants — the natural fit for a discrete-event simulation, where the
+// modelled end time of an operation is known when it is scheduled.
+func (r *Registry) Span(name string, start, end time.Duration, attrs map[string]string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, Span{Name: name, Start: start, End: end, Attrs: attrs})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of all recorded spans in record order.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// SpansNamed returns the recorded spans with the given name, in order.
+func (r *Registry) SpansNamed(name string) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CounterValue returns the named counter's value (0 if never interned).
+func (r *Registry) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// GaugeValue returns the named gauge's value (0 if never interned).
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	return g.Value()
+}
+
+// --- snapshot / export ---
+
+// CounterSnap is one counter in a Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a Snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: observations with
+// duration <= Le nanoseconds (Le = -1 marks the overflow bucket).
+type BucketSnap struct {
+	Le    int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistSnap is one histogram in a Snapshot.
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum_ns"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Snapshot is the full, deterministic state of a registry: metrics in
+// sorted name order, spans in record order. Marshalling a Snapshot with
+// encoding/json is byte-stable (attr maps render with sorted keys).
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+	Spans      []Span        `json:"spans"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make([]CounterSnap, 0, len(r.counters)),
+		Gauges:     make([]GaugeSnap, 0, len(r.gauges)),
+		Histograms: make([]HistSnap, 0, len(r.hists)),
+		Spans:      append([]Span(nil), r.spans...),
+	}
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		hs := HistSnap{Name: name, Count: h.count, Sum: int64(h.sum)}
+		for i, n := range h.buckets {
+			if n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnap{Le: histBound(i), Count: n})
+			}
+		}
+		h.mu.Unlock()
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}
+
+// MarshalJSON is not customised; Snapshot's field order plus sorted
+// metric slices make the default encoding stable.
+
+// WriteJSON writes the snapshot as indented JSON. The output is
+// byte-identical across replays of the same seed.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := r.SnapshotJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// SnapshotJSON returns the indented JSON export of the snapshot, with a
+// trailing newline.
+func (r *Registry) SnapshotJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

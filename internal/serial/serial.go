@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -24,6 +25,11 @@ type Runner struct {
 	// Parallelism is the number of concurrent map tasks (default 1: fully
 	// serial, matching the assignment's baseline).
 	Parallelism int
+	// Obs, when set, receives standalone-run counters (task launches and
+	// record/byte volumes). No spans or durations are recorded: the
+	// standalone runner has no virtual clock, and wall-clock times would
+	// break snapshot determinism.
+	Obs *obs.Registry
 }
 
 // Report summarises one standalone run.
@@ -137,6 +143,13 @@ func (r *Runner) Run(job *mapreduce.Job) (*Report, error) {
 	}
 	total.Inc(mapreduce.CtrLaunchedMaps, int64(len(splits)))
 	total.Inc(mapreduce.CtrLaunchedReduces, int64(nReduce))
+
+	r.Obs.Counter("serial.jobs_run").Inc()
+	r.Obs.Counter("serial.map_tasks").Add(int64(len(splits)))
+	r.Obs.Counter("serial.reduce_tasks").Add(int64(nReduce))
+	r.Obs.Counter("serial.map_input_records").Add(total.Get(mapreduce.CtrMapInputRecords))
+	r.Obs.Counter("serial.bytes_read").Add(total.Get(mapreduce.CtrFileBytesRead))
+	r.Obs.Counter("serial.bytes_written").Add(total.Get(mapreduce.CtrFileBytesWritten))
 
 	return &Report{
 		JobName:     job.Name,

@@ -1,0 +1,91 @@
+package shell_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/shell"
+	"repro/internal/vfs"
+)
+
+// TestCommandErrorPaths pins the failure behaviour of the inspection
+// commands the second assignment leans on (-du, -setrep, -stat, -rm):
+// missing paths, malformed replication factors, and directory-vs-file
+// mixups must fail with the right sentinel — and the near-miss positive
+// cases must keep working, so the table documents the boundary exactly.
+func TestCommandErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		// wantErr, when set, is matched with errors.Is.
+		wantErr error
+		// wantAnyErr accepts any non-nil error (for message-only errors).
+		wantAnyErr bool
+		// wantOut, when set (and no error expected), must appear in output.
+		wantOut string
+	}{
+		// -du
+		{name: "du missing path", args: []string{"-du", "/nope"}, wantErr: vfs.ErrNotExist},
+		{name: "du plain file prints size", args: []string{"-du", "/data/a.txt"}, wantOut: "11"},
+		{name: "du directory lists entries", args: []string{"-du", "/data"}, wantOut: "/data/a.txt"},
+
+		// -setrep
+		{name: "setrep missing args", args: []string{"-setrep", "2"}, wantErr: shell.ErrUsage},
+		{name: "setrep non-numeric factor", args: []string{"-setrep", "many", "/data/a.txt"}, wantErr: shell.ErrUsage},
+		{name: "setrep factor below one", args: []string{"-setrep", "0", "/data/a.txt"}, wantAnyErr: true},
+		{name: "setrep missing file", args: []string{"-setrep", "2", "/nope"}, wantErr: vfs.ErrNotExist},
+		{name: "setrep on directory", args: []string{"-setrep", "2", "/data"}, wantErr: vfs.ErrIsDir},
+		{name: "setrep on file succeeds", args: []string{"-setrep", "2", "/data/a.txt"}, wantOut: "Replication 2 set"},
+
+		// -stat
+		{name: "stat missing path", args: []string{"-stat", "/nope"}, wantErr: vfs.ErrNotExist},
+		{name: "stat no args", args: []string{"-stat"}, wantErr: shell.ErrUsage},
+		{name: "stat file reports kind", args: []string{"-stat", "/data/a.txt"}, wantOut: "regular file"},
+		{name: "stat directory reports kind", args: []string{"-stat", "/data"}, wantOut: "directory"},
+
+		// -rm
+		{name: "rm missing path", args: []string{"-rm", "/nope"}, wantErr: vfs.ErrNotExist},
+		{name: "rm no args", args: []string{"-rm"}, wantErr: shell.ErrUsage},
+		{name: "rm non-empty dir without -rmr", args: []string{"-rm", "/data"}, wantErr: vfs.ErrNotEmpty},
+		{name: "rm plain file succeeds", args: []string{"-rm", "/data/b.txt"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Fresh cluster per case: /data/a.txt (11 bytes), /data/b.txt.
+			sh, _, out := newShell(t)
+			if err := vfs.WriteFile(sh.Local, "/a.txt", []byte("hello hdfs\n")); err != nil {
+				t.Fatal(err)
+			}
+			for _, cmd := range [][]string{
+				{"-mkdir", "/data"},
+				{"-put", "/a.txt", "/data/a.txt"},
+				{"-put", "/a.txt", "/data/b.txt"},
+			} {
+				if err := sh.Run(cmd...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out.Reset()
+
+			err := sh.Run(tc.args...)
+			switch {
+			case tc.wantErr != nil:
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("%v: want %v, got %v", tc.args, tc.wantErr, err)
+				}
+			case tc.wantAnyErr:
+				if err == nil {
+					t.Fatalf("%v: want error, got nil", tc.args)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("%v: unexpected error %v", tc.args, err)
+				}
+				if tc.wantOut != "" && !strings.Contains(out.String(), tc.wantOut) {
+					t.Fatalf("%v: output missing %q:\n%s", tc.args, tc.wantOut, out.String())
+				}
+			}
+		})
+	}
+}

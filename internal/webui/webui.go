@@ -9,13 +9,20 @@
 //	/fsck        filesystem audit
 //	/topology    the Figure-2 component diagram
 //	/counters    counters of the most recently completed job
+//	/metrics     the full obs snapshot as JSON (counters, gauges, spans)
+//	/timeline    per-job task-attempt timeline from the recorded spans
 package webui
 
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/mrcluster"
+	"repro/internal/obs"
 )
 
 // Handler returns an http.Handler exposing the cluster's status pages.
@@ -48,8 +55,17 @@ func Handler(c *core.MiniCluster) http.Handler {
   /fsck        filesystem audit
   /topology    component diagram (Figure 2)
   /counters    last completed job's counters
+  /metrics     cluster metrics + spans (JSON snapshot)
+  /timeline    per-job task-attempt timeline
 `)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := c.Obs.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/timeline", text(func() (string, error) { return TimelinePage(c.Obs), nil }))
 	mux.Handle("/dfshealth", text(func() (string, error) { return c.DFS.StatusPage(), nil }))
 	mux.Handle("/jobtracker", text(func() (string, error) { return c.MR.StatusPage(), nil }))
 	mux.Handle("/topology", text(func() (string, error) { return c.RenderTopology(), nil }))
@@ -68,4 +84,74 @@ func Handler(c *core.MiniCluster) http.Handler {
 		return ctrs.String(), nil
 	}))
 	return mux
+}
+
+// timelineWidth is the character width of the rendered span bars.
+const timelineWidth = 60
+
+// TimelinePage renders a per-job gantt view of the recorded task-attempt
+// spans: one section per finished job, one bar per attempt, positioned on
+// the job's own time axis. This is the page lab exercises read to see
+// where a job's time went (see docs/OBSERVABILITY.md).
+func TimelinePage(reg *obs.Registry) string {
+	jobs := reg.SpansNamed(mrcluster.SpanJob)
+	if len(jobs) == 0 {
+		return "no completed jobs yet\n"
+	}
+	// Index attempt spans by the job id they carry in their attrs.
+	attempts := map[string][]obs.Span{}
+	for _, s := range reg.Spans() {
+		if s.Name == mrcluster.SpanMapAttempt || s.Name == mrcluster.SpanReduceAttempt {
+			attempts[s.Attrs["job"]] = append(attempts[s.Attrs["job"]], s)
+		}
+	}
+	var b strings.Builder
+	for _, job := range jobs {
+		id := job.Attrs["job"]
+		fmt.Fprintf(&b, "=== %s (%s) %s — start %v, ran %v ===\n",
+			id, job.Attrs["name"], job.Attrs["outcome"],
+			job.Start.Round(time.Millisecond), job.Duration().Round(time.Millisecond))
+		spans := append([]obs.Span(nil), attempts[id]...)
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].Attrs["attempt"] < spans[j].Attrs["attempt"]
+		})
+		span := job.Duration()
+		if span <= 0 {
+			span = 1
+		}
+		for _, s := range spans {
+			lo := int(timelineWidth * (s.Start - job.Start) / span)
+			hi := int(timelineWidth * (s.End - job.Start) / span)
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > timelineWidth {
+				hi = timelineWidth
+			}
+			if hi <= lo {
+				hi = lo + 1
+			}
+			bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) +
+				strings.Repeat(" ", timelineWidth-hi)
+			kind := "reduce"
+			if s.Name == mrcluster.SpanMapAttempt {
+				kind = "map   "
+			}
+			tags := s.Attrs["outcome"]
+			if s.Attrs["speculative"] == "true" {
+				tags += ",speculative"
+			}
+			if l, ok := s.Attrs["locality"]; ok {
+				tags += ",locality=" + l
+			}
+			fmt.Fprintf(&b, "%s |%s| %-28s %-8s %v %s\n",
+				kind, bar, s.Attrs["attempt"], s.Attrs["node"],
+				s.Duration().Round(time.Millisecond), tags)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

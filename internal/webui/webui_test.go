@@ -54,6 +54,8 @@ func TestPages(t *testing.T) {
 		"/fsck":       {"is HEALTHY"},
 		"/topology":   {"[NameNode]", "blk_"},
 		"/counters":   {"MAP_INPUT_RECORDS", "SHUFFLE_BYTES"},
+		"/metrics":    {`"hdfs.nn.blocks_allocated"`, `"mr.jt.jobs_succeeded"`, `"mr.job"`},
+		"/timeline":   {"job_wordcount", "succeeded", "map    |", "locality="},
 	}
 	for path, wants := range cases {
 		code, body := get(t, srv, path)
