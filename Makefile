@@ -23,7 +23,7 @@ check:
 
 # Just the concurrency-sensitive surface, race-checked.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/...
+	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/... ./internal/iofmt/...
 
 chaos: race
 
@@ -31,7 +31,7 @@ chaos: race
 # artifact the tier-2 regression test (TestBenchRegression) diffs against.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
-	$(GO) run ./cmd/benchreport -out BENCH_pr2.json
+	$(GO) run ./cmd/benchreport -out BENCH_pr3.json
 
 # One-iteration benchmark smoke pass — proves every experiment still runs
 # without paying for steady-state timing.
@@ -43,5 +43,5 @@ bench-smoke:
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/faultinject/...
+	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/iofmt/...
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

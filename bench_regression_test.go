@@ -57,6 +57,14 @@ var shapeChecks = map[string]map[string][2]float64{
 		"speedup-at-16-nodes": {1, math.Inf(1)}, // scaling helps
 		"speculation-gain-x":  {1, math.Inf(1)}, // speculation helps stragglers
 	},
+	"E10": {
+		"gz-map-tasks":          {1, 1},             // whole-stream gzip: one map, always
+		"seq-parallelism-x":     {4, math.Inf(1)},   // seq keeps splitting
+		"seq-storage-savings-x": {1, math.Inf(1)},   // compression shrinks storage
+		"gz-vs-seq-makespan-x":  {1, math.Inf(1)},   // parallel decompression wins
+		"seq-read-reduction-x":  {1, math.Inf(1)},   // fewer simulated disk bytes
+		"shuffle-compression-x": {1.5, math.Inf(1)}, // wire bytes shrink measurably
+	},
 }
 
 func TestBenchRegression(t *testing.T) {

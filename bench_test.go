@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper (plus the
-// per-claim experiments E1–E9 of DESIGN.md). Each benchmark runs the full
+// per-claim experiments E1–E10 of DESIGN.md). Each benchmark runs the full
 // experiment and reports its headline metrics, so
 //
 //	go test -bench=. -benchmem
@@ -109,3 +109,8 @@ func BenchmarkE8FsckRecovery(b *testing.B) { runExperiment(b, "E8", headlines("E
 
 // BenchmarkE9Scalability measures the 1–16 node speedup curve.
 func BenchmarkE9Scalability(b *testing.B) { runExperiment(b, "E9", headlines("E9")) }
+
+// BenchmarkE10FileFormats compares the same corpus as text, whole-stream
+// gzip and block-compressed SequenceFile, plus the shuffle-compression
+// ablation.
+func BenchmarkE10FileFormats(b *testing.B) { runExperiment(b, "E10", headlines("E10")) }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	datagen -out ./data [-scale 1.0] [-seed 1] [-only corpus,airline,movies,music,trace]
+//	        [-format text|gz|lzs|seq|seq-gzip|seq-lzs]
+//
+// -format re-encodes the text corpus into another container so labs can
+// compare splittable and non-splittable inputs built from the identical
+// seed-for-seed word stream.
 package main
 
 import (
@@ -22,6 +27,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "size multiplier for all datasets")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	only := flag.String("only", "", "comma-separated subset (corpus,airline,movies,music,trace)")
+	format := flag.String("format", "text",
+		"corpus container: "+strings.Join(datagen.TextFormats(), "|"))
 	flag.Parse()
 
 	fs, err := vfs.NewOsFS(*out)
@@ -44,12 +51,13 @@ func main() {
 	}
 
 	if sel("corpus") {
-		truth, n, err := datagen.Text(fs, "/corpus/shakespeare.txt",
-			datagen.TextOpts{Lines: sc(100000), Seed: *seed})
+		path := datagen.TextPathFor("/corpus/shakespeare.txt", *format)
+		truth, n, err := datagen.TextAs(fs, path,
+			datagen.TextOpts{Lines: sc(100000), Seed: *seed}, *format)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("corpus: %d bytes; top word %q x%d\n", n, truth.TopWord, truth.TopWordCount)
+		fmt.Printf("corpus (%s): %d bytes; top word %q x%d\n", *format, n, truth.TopWord, truth.TopWordCount)
 	}
 	if sel("airline") {
 		truth, n, err := datagen.Airline(fs, "/airline/ontime.csv",

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/iofmt"
 	"repro/internal/vfs"
 )
 
@@ -27,6 +28,45 @@ func TestTextDeterministic(t *testing.T) {
 	}
 	if ta.TopWord != tb.TopWord {
 		t.Fatal("truth differs across identical runs")
+	}
+}
+
+func TestTextFormatsCarrySameStream(t *testing.T) {
+	opts := TextOpts{Lines: 300, Seed: 9, SeqBlockBytes: 2 << 10}
+	fs := vfs.NewMemFS()
+	baseTruth, _, err := TextAs(fs, "/c.txt", opts, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := vfs.ReadFile(fs, "/c.txt")
+	for _, format := range TextFormats() {
+		if format == "text" {
+			continue
+		}
+		ffs := vfs.NewMemFS()
+		path := TextPathFor("/c.txt", format)
+		truth, n, err := TextAs(ffs, path, opts, format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		data, _ := vfs.ReadFile(ffs, path)
+		if int64(len(data)) != n {
+			t.Fatalf("%s: reported %d bytes, file has %d", format, n, len(data))
+		}
+		decoded, err := iofmt.DecodeToText(path, data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", format, err)
+		}
+		if string(decoded) != string(plain) {
+			t.Fatalf("%s: decoded stream differs from plain text (%d vs %d bytes)",
+				format, len(decoded), len(plain))
+		}
+		if truth.TopWord != baseTruth.TopWord || truth.TotalWords != baseTruth.TotalWords {
+			t.Fatalf("%s: truth differs from plain text", format)
+		}
+	}
+	if _, _, err := TextAs(vfs.NewMemFS(), "/c.bin", opts, "zip"); err == nil {
+		t.Fatal("unknown format accepted")
 	}
 }
 

@@ -104,6 +104,7 @@ func Registry() []Spec {
 		{"E7", "Data staging time at paper scale", E7Staging},
 		{"E8", "HDFS shell session: replication, failure, recovery", E8FsckRecovery},
 		{"E9", "Scalability and speculative-execution ablation", E9Scalability},
+		{"E10", "File formats and compression: splittable vs whole-stream", E10Formats},
 	}
 }
 

@@ -15,7 +15,7 @@ const testSeed = 1234
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"FIG1", "FIG2", "T1", "T2", "T3", "T4", "T5",
-		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 	specs := Registry()
 	if len(specs) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(specs), len(want))
@@ -290,6 +290,38 @@ func TestE9ScalabilityShape(t *testing.T) {
 	}
 	if res.SpeculationGain <= 1 {
 		t.Fatalf("speculation gain = %.2f, want >1\n%s", res.SpeculationGain, r)
+	}
+}
+
+func TestE10FormatShape(t *testing.T) {
+	r, err := E10Formats(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Raw.(*E10Result)
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	text, gz, seq := res.e10Format("text"), res.e10Format("gz"), res.e10Format("seq-gzip")
+	if gz.MapTasks != 1 {
+		t.Fatalf("gz corpus scheduled %d maps, want exactly 1\n%s", gz.MapTasks, r)
+	}
+	if seq.MapTasks < 4 {
+		t.Fatalf("seq-gzip corpus scheduled %d maps, want ≥4\n%s", seq.MapTasks, r)
+	}
+	if gz.FileBytes >= text.FileBytes || seq.FileBytes >= text.FileBytes {
+		t.Fatalf("compression did not shrink storage\n%s", r)
+	}
+	if seq.BytesRead >= text.BytesRead {
+		t.Fatalf("seq read %d bytes, text %d: compression should cut disk reads\n%s",
+			seq.BytesRead, text.BytesRead, r)
+	}
+	if seq.Makespan >= gz.Makespan {
+		t.Fatalf("seq makespan %v not better than single-map gz %v\n%s", seq.Makespan, gz.Makespan, r)
+	}
+	if res.ShuffleWireBytes >= res.ShuffleRawBytes {
+		t.Fatalf("shuffle compression grew the wire: %d -> %d\n%s",
+			res.ShuffleRawBytes, res.ShuffleWireBytes, r)
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 
 // HeadlineIDs lists the experiments that contribute headline metrics, in
 // presentation order.
-var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 
 // HeadlineMetrics extracts id's headline metrics from a finished run.
 // Metric names ending in "-x" are ratios where >1 means the paper's
@@ -77,6 +77,17 @@ func HeadlineMetrics(id string, r *Result) map[string]float64 {
 		return map[string]float64{
 			"speedup-at-16-nodes": res.Points[len(res.Points)-1].Speedup,
 			"speculation-gain-x":  res.SpeculationGain,
+		}
+	case "E10":
+		res := r.Raw.(*E10Result)
+		text, gz, seq := res.e10Format("text"), res.e10Format("gz"), res.e10Format("seq-gzip")
+		return map[string]float64{
+			"gz-map-tasks":          float64(gz.MapTasks),
+			"seq-parallelism-x":     float64(seq.MapTasks) / float64(gz.MapTasks),
+			"seq-storage-savings-x": float64(text.FileBytes) / float64(seq.FileBytes),
+			"gz-vs-seq-makespan-x":  float64(gz.Makespan) / float64(seq.Makespan),
+			"seq-read-reduction-x":  float64(text.BytesRead) / float64(seq.BytesRead),
+			"shuffle-compression-x": float64(res.ShuffleRawBytes) / float64(res.ShuffleWireBytes),
 		}
 	}
 	return nil

@@ -1,0 +1,159 @@
+// Package iofmt is the storage-format layer of the stack: a pluggable
+// compression-codec registry and a splittable binary SequenceFile
+// container with sync markers — the Hadoop lesson that file formats and
+// splittable-vs-non-splittable compression decide how much parallelism a
+// job can have before a single map task even runs.
+//
+// Everything here is deterministic: the same input bytes always produce
+// the same compressed bytes, so the simulation's golden traces and
+// benchmark artifacts stay byte-stable across runs.
+package iofmt
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Sentinel errors shared by codecs and the SequenceFile reader.
+var (
+	// ErrUnknownCodec reports a codec name or extension with no
+	// registered implementation.
+	ErrUnknownCodec = errors.New("iofmt: unknown codec")
+	// ErrBadMagic reports a container whose leading bytes are not the
+	// expected magic number.
+	ErrBadMagic = errors.New("iofmt: bad magic")
+	// ErrTruncated reports a container that ends mid-structure.
+	ErrTruncated = errors.New("iofmt: truncated data")
+	// ErrCorrupt reports structurally invalid compressed data.
+	ErrCorrupt = errors.New("iofmt: corrupt data")
+)
+
+// Codec is one whole-buffer compression scheme. Codecs operate on byte
+// slices rather than streams: every caller in the stack (shuffle sizing,
+// SequenceFile blocks, text part files) holds the data in memory anyway,
+// and slices keep Compress(Decompress(x)) == x trivially checkable.
+type Codec interface {
+	// Name is the registry key ("gzip", "lzs").
+	Name() string
+	// Extension is the file suffix that implies this codec (".gz"), or
+	// "" for codecs never used as a bare file suffix.
+	Extension() string
+	// Splittable reports whether a file compressed as one stream of this
+	// codec can be split for parallel reading. Whole-stream codecs like
+	// gzip cannot: byte offset N is meaningless without bytes 0..N-1.
+	Splittable() bool
+	// Compress returns the encoded form of data.
+	Compress(data []byte) ([]byte, error)
+	// Decompress inverts Compress.
+	Decompress(data []byte) ([]byte, error)
+}
+
+var (
+	codecsByName = map[string]Codec{}
+	codecsByExt  = map[string]Codec{}
+)
+
+// Register adds a codec to the registry; later registrations of the same
+// name or extension win, so tests can shadow built-ins.
+func Register(c Codec) {
+	codecsByName[c.Name()] = c
+	if ext := c.Extension(); ext != "" {
+		codecsByExt[ext] = c
+	}
+}
+
+// ByName returns the codec registered under name. The empty string and
+// "none" mean "no codec" and return (nil, nil).
+func ByName(name string) (Codec, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	c, ok := codecsByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCodec, name)
+	}
+	return c, nil
+}
+
+// ByExtension returns the codec implied by a file path's suffix, or nil
+// when the path has no codec suffix.
+func ByExtension(path string) Codec {
+	for ext, c := range codecsByExt {
+		if strings.HasSuffix(path, ext) {
+			return c
+		}
+	}
+	return nil
+}
+
+// CodecNames lists the registered codec names, sorted.
+func CodecNames() []string {
+	names := make([]string, 0, len(codecsByName))
+	for n := range codecsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- gzip ---
+
+// gzipCodec wraps the stdlib DEFLATE implementation. With a zero header
+// (no mod time, no name) the output is a pure function of the input, so
+// simulated wire and disk sizes are reproducible.
+type gzipCodec struct{}
+
+func (gzipCodec) Name() string      { return "gzip" }
+func (gzipCodec) Extension() string { return ".gz" }
+func (gzipCodec) Splittable() bool  { return false }
+
+func (gzipCodec) Compress(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (gzipCodec) Decompress(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// CompressedSize returns the encoded size of data under codec — the
+// number the shuffle and storage cost models meter. A nil codec is the
+// identity: raw size.
+func CompressedSize(c Codec, data []byte) (int64, error) {
+	if c == nil {
+		return int64(len(data)), nil
+	}
+	enc, err := c.Compress(data)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(enc)), nil
+}
+
+func init() {
+	Register(gzipCodec{})
+	Register(lzsCodec{})
+}

@@ -1,0 +1,80 @@
+package iofmt
+
+import "strings"
+
+// Format detection by path. The split planner needs to answer two
+// questions about an input file before a single task runs: how is it
+// containered (line-oriented text vs SequenceFile), and can it be split?
+// Both are decided by naming convention, as in Hadoop: ".seq" means
+// SequenceFile, a codec suffix (".gz", ".lzs") means a whole-stream
+// compressed text file, anything else is plain text.
+
+// Kind is an input file's container format.
+type Kind int
+
+const (
+	// KindText is newline-delimited text, possibly whole-stream
+	// compressed (DetectPath also reports the codec).
+	KindText Kind = iota
+	// KindSeq is the block-compressed SequenceFile container.
+	KindSeq
+)
+
+func (k Kind) String() string {
+	if k == KindSeq {
+		return "seq"
+	}
+	return "text"
+}
+
+// SeqExtension is the suffix that marks a SequenceFile.
+const SeqExtension = ".seq"
+
+// DetectPath classifies a file path: its container kind and, for text,
+// the whole-stream codec implied by its suffix (nil for plain text).
+// SequenceFiles record their codec in the header, so codec is always
+// nil for KindSeq.
+func DetectPath(path string) (Kind, Codec) {
+	if strings.HasSuffix(path, SeqExtension) {
+		return KindSeq, nil
+	}
+	return KindText, ByExtension(path)
+}
+
+// SplittablePath reports whether the file at path may be carved into
+// byte-range splits for parallel reading. SequenceFiles always can
+// (sync markers); compressed text can only if its codec is splittable —
+// which for whole-stream gzip/lzs it is not, the lesson at the heart of
+// the IO lab: gzipping a big input silently serialises the map phase.
+func SplittablePath(path string) bool {
+	kind, codec := DetectPath(path)
+	if kind == KindSeq {
+		return true
+	}
+	return codec == nil || codec.Splittable()
+}
+
+// DecodeToText renders a file's bytes back to canonical text, whatever
+// its container: compressed text is inflated, SequenceFiles render one
+// line per record, plain text passes through unchanged. This is the
+// shell's `-text` and the identity that makes "byte-identical output
+// across formats" a testable claim.
+func DecodeToText(path string, data []byte) ([]byte, error) {
+	kind, codec := DetectPath(path)
+	if kind == KindSeq {
+		recs, _, err := ReadSeqBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		var b []byte
+		for _, r := range recs {
+			b = append(b, r.TextLine()...)
+			b = append(b, '\n')
+		}
+		return b, nil
+	}
+	if codec != nil {
+		return codec.Decompress(data)
+	}
+	return data, nil
+}

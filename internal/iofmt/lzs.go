@@ -1,0 +1,136 @@
+package iofmt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// lzsCodec is a small deterministic LZ77-family codec in the spirit of
+// the LZO/Snappy class Hadoop deploys for splittable block compression:
+// much cheaper than DEFLATE, worse ratio, and — crucially for teaching —
+// simple enough to read in one sitting. The encoder is greedy with a
+// 4-byte hash table, so identical input always yields identical output.
+//
+// Stream layout: a 4-byte magic, a uvarint raw length, then tokens.
+//
+//	literal token: one byte 0x01..0x7F = n, followed by n literal bytes
+//	match token:   one byte 0x80|(len-minMatch), len in [4, 131],
+//	               followed by a 2-byte big-endian distance in [1, 65535]
+type lzsCodec struct{}
+
+const (
+	lzsMagic    = "LZS1"
+	lzsMinMatch = 4
+	lzsMaxMatch = lzsMinMatch + 0x7F
+	lzsMaxDist  = 1 << 16
+	lzsMaxLit   = 0x7F
+	lzsHashBits = 14
+)
+
+func (lzsCodec) Name() string      { return "lzs" }
+func (lzsCodec) Extension() string { return ".lzs" }
+
+// Splittable is false for the same reason as gzip: a bare .lzs file is
+// one stream. The codec becomes splittable only inside a SequenceFile,
+// where each block is compressed independently between sync markers.
+func (lzsCodec) Splittable() bool { return false }
+
+func lzsHash(v uint32) uint32 {
+	// Multiplicative hash of a 4-byte window (Knuth constant).
+	return (v * 2654435761) >> (32 - lzsHashBits)
+}
+
+func (lzsCodec) Compress(data []byte) ([]byte, error) {
+	out := make([]byte, 0, len(data)/2+16)
+	out = append(out, lzsMagic...)
+	out = binary.AppendUvarint(out, uint64(len(data)))
+
+	var table [1 << lzsHashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	emitLiterals := func(lit []byte) {
+		for len(lit) > 0 {
+			n := len(lit)
+			if n > lzsMaxLit {
+				n = lzsMaxLit
+			}
+			out = append(out, byte(n))
+			out = append(out, lit[:n]...)
+			lit = lit[n:]
+		}
+	}
+
+	litStart := 0
+	pos := 0
+	for pos+lzsMinMatch <= len(data) {
+		h := lzsHash(binary.LittleEndian.Uint32(data[pos:]))
+		cand := table[h]
+		table[h] = int32(pos)
+		if cand < 0 || pos-int(cand) >= lzsMaxDist ||
+			binary.LittleEndian.Uint32(data[cand:]) != binary.LittleEndian.Uint32(data[pos:]) {
+			pos++
+			continue
+		}
+		// Extend the match as far as it goes (bounded by the token).
+		length := lzsMinMatch
+		for pos+length < len(data) && length < lzsMaxMatch &&
+			data[int(cand)+length] == data[pos+length] {
+			length++
+		}
+		emitLiterals(data[litStart:pos])
+		out = append(out, byte(0x80|(length-lzsMinMatch)))
+		out = binary.BigEndian.AppendUint16(out, uint16(pos-int(cand)))
+		pos += length
+		litStart = pos
+	}
+	emitLiterals(data[litStart:])
+	return out, nil
+}
+
+func (lzsCodec) Decompress(data []byte) ([]byte, error) {
+	if len(data) < len(lzsMagic) || string(data[:len(lzsMagic)]) != lzsMagic {
+		return nil, fmt.Errorf("%w: not an lzs stream", ErrBadMagic)
+	}
+	rest := data[len(lzsMagic):]
+	rawLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad lzs length header", ErrCorrupt)
+	}
+	rest = rest[n:]
+	out := make([]byte, 0, rawLen)
+	for len(rest) > 0 {
+		tok := rest[0]
+		rest = rest[1:]
+		if tok == 0 {
+			return nil, fmt.Errorf("%w: zero lzs token", ErrCorrupt)
+		}
+		if tok < 0x80 {
+			n := int(tok)
+			if n > len(rest) {
+				return nil, fmt.Errorf("%w: lzs literal run past end", ErrTruncated)
+			}
+			out = append(out, rest[:n]...)
+			rest = rest[n:]
+			continue
+		}
+		length := int(tok&0x7F) + lzsMinMatch
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("%w: lzs match token past end", ErrTruncated)
+		}
+		dist := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if dist == 0 || dist > len(out) {
+			return nil, fmt.Errorf("%w: lzs match distance %d at output size %d", ErrCorrupt, dist, len(out))
+		}
+		// Byte-at-a-time copy: matches may overlap their own output
+		// (run-length encoding via distance < length).
+		for i := 0; i < length; i++ {
+			out = append(out, out[len(out)-dist])
+		}
+	}
+	if uint64(len(out)) != rawLen {
+		return nil, fmt.Errorf("%w: lzs stream decoded %d bytes, header says %d", ErrCorrupt, len(out), rawLen)
+	}
+	return out, nil
+}

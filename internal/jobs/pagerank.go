@@ -188,6 +188,23 @@ func PageRankPipeline(input, workDir, output string, nodes, iterations int, damp
 	return out
 }
 
+// PageRankPipelineSeq builds the same iteration chain but hands the
+// intermediate outputs between jobs as block-compressed SequenceFiles
+// instead of text: each reducer writes (node, "rank<TAB>links") records,
+// and the next iteration's input reader renders them back to the exact
+// "node<TAB>rank<TAB>links" lines the mapper parses — same ranks to the
+// last bit, smaller and splittable spill between jobs. The final output
+// stays text so ParsePageRanks keeps working. codec names the block
+// codec ("gzip", "lzs", or "" for uncompressed blocks).
+func PageRankPipelineSeq(input, workDir, output string, nodes, iterations int, damping float64, codec string) []*mapreduce.Job {
+	chain := PageRankPipeline(input, workDir, output, nodes, iterations, damping)
+	for _, j := range chain[:len(chain)-1] {
+		j.OutputFormat = mapreduce.OutputFormatSeq
+		j.OutputCodec = codec
+	}
+	return chain
+}
+
 // ParsePageRanks reads job output ("node\trank\tlinks" lines) into a map.
 func ParsePageRanks(output string) map[int]float64 {
 	ranks := map[int]float64{}

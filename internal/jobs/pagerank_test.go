@@ -2,11 +2,13 @@ package jobs_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/hdfs"
+	"repro/internal/iofmt"
 	"repro/internal/jobcontrol"
 	"repro/internal/jobs"
 	"repro/internal/mapreduce"
@@ -122,6 +124,96 @@ func TestPageRankOnClusterMatchesSerial(t *testing.T) {
 	for v := 0; v < nodes; v++ {
 		if clusterRanks[v] != serialRanks[v] {
 			t.Fatalf("rank[%d]: cluster %.17g vs serial %.17g", v, clusterRanks[v], serialRanks[v])
+		}
+	}
+}
+
+func TestPageRankSeqIntermediatesMatchText(t *testing.T) {
+	const nodes, iters = 80, 4
+	lfs := vfs.NewMemFS()
+	if _, _, err := datagen.Graph(lfs, "/graph.txt", datagen.GraphOpts{Nodes: nodes, AvgEdges: 4, Seed: 41}); err != nil {
+		t.Fatal(err)
+	}
+	textRanks := runPageRankSerial(t, lfs, nodes, iters)
+
+	// Same chain, but iterations hand off block-compressed SequenceFiles.
+	// Pass nil to ctl.Run so the intermediates survive for inspection.
+	sfs := vfs.NewMemFS()
+	if _, _, err := datagen.Graph(sfs, "/graph.txt", datagen.GraphOpts{Nodes: nodes, AvgEdges: 4, Seed: 41}); err != nil {
+		t.Fatal(err)
+	}
+	runner := &serial.Runner{FS: sfs}
+	ctl := jobcontrol.New()
+	ctl.Chain(jobs.PageRankPipelineSeq("/graph.txt", "/work", "/out", nodes, iters, 0.85, "gzip")...)
+	if err := ctl.Run(func(j *mapreduce.Job) error {
+		_, err := runner.Run(j)
+		return err
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := serial.ReadOutput(sfs, "/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRanks := jobs.ParsePageRanks(out)
+	for v := 0; v < nodes; v++ {
+		if seqRanks[v] != textRanks[v] {
+			t.Fatalf("rank[%d]: seq chain %.17g vs text chain %.17g", v, seqRanks[v], textRanks[v])
+		}
+	}
+
+	// The handoff really was a SequenceFile: .seq part names carrying the
+	// container magic.
+	infos, err := sfs.List("/work/iter-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqParts := 0
+	for _, fi := range infos {
+		if fi.IsDir || fi.Name() == "_SUCCESS" {
+			continue
+		}
+		if !strings.HasSuffix(fi.Path, ".seq") {
+			t.Fatalf("intermediate part %s is not a .seq file", fi.Path)
+		}
+		data, err := vfs.ReadFile(sfs, fi.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), iofmt.SeqMagic) {
+			t.Fatalf("intermediate part %s missing SequenceFile magic", fi.Path)
+		}
+		seqParts++
+	}
+	if seqParts == 0 {
+		t.Fatal("no intermediate parts found under /work/iter-000")
+	}
+
+	// And the cluster runtime reads the same seq handoffs to the same
+	// ranks, bit for bit.
+	c, err := core.New(core.Options{Nodes: 4, Seed: 2, HDFS: hdfs.Config{BlockSize: 4 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := datagen.Graph(c.FS(), "/graph.txt", datagen.GraphOpts{Nodes: nodes, AvgEdges: 4, Seed: 41}); err != nil {
+		t.Fatal(err)
+	}
+	dctl := jobcontrol.New()
+	dctl.Chain(jobs.PageRankPipelineSeq("/graph.txt", "/work", "/out", nodes, iters, 0.85, "gzip")...)
+	if err := dctl.Run(func(j *mapreduce.Job) error {
+		_, err := c.Run(j)
+		return err
+	}, c.FS()); err != nil {
+		t.Fatal(err)
+	}
+	cout, err := c.Output("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterRanks := jobs.ParsePageRanks(cout)
+	for v := 0; v < nodes; v++ {
+		if clusterRanks[v] != textRanks[v] {
+			t.Fatalf("rank[%d]: cluster seq chain %.17g vs text chain %.17g", v, clusterRanks[v], textRanks[v])
 		}
 	}
 }

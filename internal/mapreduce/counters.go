@@ -20,6 +20,12 @@ const (
 	CtrReduceOutputRecords  = "REDUCE_OUTPUT_RECORDS"
 	CtrShuffleBytes         = "SHUFFLE_BYTES"
 	CtrSpilledRecords       = "SPILLED_RECORDS"
+	// CtrInputDecodedBytes is the logical input volume after any codec
+	// ran; with compressed inputs it exceeds the bytes read off storage.
+	CtrInputDecodedBytes = "INPUT_DECODED_BYTES"
+	// CtrOutputRawBytes is the logical reduce output before output
+	// compression; the committed part files may be smaller.
+	CtrOutputRawBytes = "OUTPUT_RAW_BYTES"
 
 	CtrHDFSBytesRead     = "HDFS_BYTES_READ"
 	CtrHDFSBytesWritten  = "HDFS_BYTES_WRITTEN"

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/iofmt"
 	"repro/internal/vfs"
 )
 
@@ -40,7 +41,10 @@ func (s FileSplit) String() string {
 
 // ComputeSplits expands the input paths (files or directories) on fs and
 // carves each file into splits of at most splitSize bytes. Empty files
-// yield no splits.
+// yield no splits. Files whose format cannot be split — whole-stream
+// compressed text like .gz — become exactly one split covering the whole
+// file, which is how gzipping an input silently caps a job at one map
+// task.
 func ComputeSplits(fs vfs.FileSystem, inputs []string, splitSize int64) ([]FileSplit, error) {
 	if splitSize <= 0 {
 		splitSize = DefaultSplitSize
@@ -59,6 +63,12 @@ func ComputeSplits(fs vfs.FileSystem, inputs []string, splitSize int64) ([]FileS
 	var splits []FileSplit
 	for _, f := range files {
 		if f.Size == 0 {
+			continue
+		}
+		if !iofmt.SplittablePath(f.Path) {
+			splits = append(splits, FileSplit{
+				Path: f.Path, Offset: 0, Length: f.Size, FileSize: f.Size,
+			})
 			continue
 		}
 		for off := int64(0); off < f.Size; off += splitSize {
@@ -128,28 +138,9 @@ func RecordsInRange(data []byte, dataStart, off, end int64) []Record {
 	return out
 }
 
-// ReadSplitRecords reads the records of one split from fs using a plain
-// sequential reader. It fetches the byte range the split needs (including
-// the look-back byte and the tail-line overflow) and applies
-// RecordsInRange. Returns the records and the number of bytes actually
-// read from the filesystem.
-func ReadSplitRecords(fs vfs.FileSystem, split FileSplit) ([]Record, int64, error) {
-	fetchStart := split.Offset
-	if fetchStart > 0 {
-		fetchStart--
-	}
-	fetchEnd := split.End() + DefaultMaxLineBytes
-	if fetchEnd > split.FileSize {
-		fetchEnd = split.FileSize
-	}
-	data, err := vfs.ReadFile(fs, split.Path)
-	if err != nil {
-		return nil, 0, err
-	}
-	if int64(len(data)) < fetchEnd {
-		fetchEnd = int64(len(data))
-	}
-	window := data[fetchStart:fetchEnd]
-	recs := RecordsInRange(window, fetchStart, split.Offset, split.End())
-	return recs, fetchEnd - fetchStart, nil
+// ReadSplitRecords reads the records of one split from fs, dispatching
+// on the file's format (plain text, compressed text, SequenceFile) via
+// ReadSplit. Returns the records and the read statistics.
+func ReadSplitRecords(fs vfs.FileSystem, split FileSplit) ([]Record, ReadStats, error) {
+	return ReadSplit(FSRangeReader(fs, split.Path), split)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/iofmt"
 	"repro/internal/vfs"
 )
 
@@ -45,6 +46,15 @@ type Job struct {
 	// OutputPath is a directory that must not already exist (Hadoop
 	// refuses to clobber output); part-r-NNNNN files are written there.
 	OutputPath string
+	// OutputFormat selects the reduce-output container: "" or "text"
+	// writes "key<TAB>value" lines; "seq" writes SequenceFiles whose
+	// records keep key and value separate, so chained jobs read them
+	// back without re-parsing and they stay splittable when compressed.
+	OutputFormat string
+	// OutputCodec names the iofmt codec compressing the output ("",
+	// "none", "gzip", "lzs"). Text parts gain the codec's extension
+	// (part-r-00000.gz); SequenceFile parts compress per block.
+	OutputCodec string
 	// SideFiles are auxiliary data files tasks may open through the task
 	// context (the movie-genre and album join files). The framework
 	// meters how tasks access them.
@@ -78,7 +88,36 @@ func (j *Job) Validate() error {
 	case j.NumReducers < 0:
 		return fmt.Errorf("mapreduce: NumReducers=%d is negative", j.NumReducers)
 	}
+	switch j.OutputFormat {
+	case "", OutputFormatText, OutputFormatSeq:
+	default:
+		return fmt.Errorf("mapreduce: unknown OutputFormat %q", j.OutputFormat)
+	}
+	if _, err := iofmt.ByName(j.OutputCodec); err != nil {
+		return fmt.Errorf("mapreduce: OutputCodec: %w", err)
+	}
 	return nil
+}
+
+// outputFormat returns the effective output format.
+func (j *Job) outputFormat() string {
+	if j.OutputFormat == "" {
+		return OutputFormatText
+	}
+	return j.OutputFormat
+}
+
+// OutputPartName returns the file name reducer r commits under
+// OutputPath, including the format and codec suffix readers key off.
+func (j *Job) OutputPartName(r int) string {
+	name := PartitionName(r)
+	if j.outputFormat() == OutputFormatSeq {
+		return name + iofmt.SeqExtension
+	}
+	if c, err := iofmt.ByName(j.OutputCodec); err == nil && c != nil && c.Extension() != "" {
+		return name + c.Extension()
+	}
+	return name
 }
 
 // Reducers returns the effective reducer count.

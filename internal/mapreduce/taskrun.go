@@ -127,15 +127,22 @@ func ExecuteMap(ctx *TaskContext, job *Job, records []Record) (*MapOutput, error
 
 // ExecuteReduce runs one reduce task: merge the sorted runs fetched from
 // each map task, group by key, apply the reducer (with lifecycle hooks),
-// and write text output lines ("key<TAB>value\n") to w. Returns the bytes
-// written.
+// and write the output to w. When w implements RecordWriter (as the
+// format-aware OutputWriter does), records flow through WriteRecord;
+// otherwise text lines ("key<TAB>value\n") are written. Returns the
+// logical (pre-compression) bytes emitted.
 func ExecuteReduce(ctx *TaskContext, job *Job, runs [][]Pair, w io.Writer) (int64, error) {
 	reducer := job.NewReducer()
+	rw, structured := w.(RecordWriter)
 	var written int64
 	emit := EmitterFunc(func(key string, value Value) error {
-		n, err := fmt.Fprintf(w, "%s\t%s\n", key, value.String())
-		written += int64(n)
 		ctx.Counters.Inc(CtrReduceOutputRecords, 1)
+		s := value.String()
+		written += int64(len(key) + len(s) + 2) // tab + newline
+		if structured {
+			return rw.WriteRecord(key, s)
+		}
+		_, err := fmt.Fprintf(w, "%s\t%s\n", key, s)
 		return err
 	})
 

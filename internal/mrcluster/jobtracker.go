@@ -2,7 +2,6 @@ package mrcluster
 
 import (
 	"bytes"
-	"compress/gzip"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/iofmt"
 	"repro/internal/mapreduce"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -354,7 +354,10 @@ func (c *cacheFS) Open(path string) (io.ReadCloser, error) {
 }
 
 // computeSplits builds one split per HDFS block of each input file, with
-// the block's replica hostnames attached for locality scheduling.
+// the block's replica hostnames attached for locality scheduling. Files
+// whose format cannot be split — whole-stream compressed text — become
+// exactly one split spanning every block: gzipping a big input silently
+// caps the job at one map task however many blocks HDFS stores.
 func (jt *JobTracker) computeSplits(job *mapreduce.Job) ([]mapreduce.FileSplit, error) {
 	client := jt.mc.DFS.Client(GatewayForSubmit)
 	var files []vfs.FileInfo
@@ -375,6 +378,18 @@ func (jt *JobTracker) computeSplits(job *mapreduce.Job) ([]mapreduce.FileSplit, 
 		locs, err := client.BlockLocations(f.Path)
 		if err != nil {
 			return nil, err
+		}
+		if !iofmt.SplittablePath(f.Path) {
+			// Locality can only target the first block; the task streams
+			// the rest across the network regardless.
+			var hosts []string
+			if len(locs) > 0 {
+				hosts = locs[0].Hosts
+			}
+			splits = append(splits, mapreduce.FileSplit{
+				Path: f.Path, Offset: 0, Length: f.Size, FileSize: f.Size, Hosts: hosts,
+			})
+			continue
 		}
 		for _, loc := range locs {
 			splits = append(splits, mapreduce.FileSplit{
@@ -568,18 +583,13 @@ func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool
 	}
 	ctx := mapreduce.NewTaskContext(jr.id, a.id(), taskFS, jr.job)
 	split := t.split
-	fetchStart := split.Offset
-	if fetchStart > 0 {
-		fetchStart--
-	}
-	fetchEnd := split.End() + mapreduce.DefaultMaxLineBytes
-	if fetchEnd > split.FileSize {
-		fetchEnd = split.FileSize
-	}
-	window, err := client.ReadRange(split.Path, fetchStart, fetchEnd-fetchStart)
+	records, rstats, err := mapreduce.ReadSplit(func(off, length int64) ([]byte, error) {
+		return client.ReadRange(split.Path, off, length)
+	}, split)
 	var out *mapreduce.MapOutput
 	if err == nil {
-		records := mapreduce.RecordsInRange(window, fetchStart, split.Offset, split.End())
+		ctx.Counters.Inc(mapreduce.CtrInputDecodedBytes, rstats.BytesDecoded)
+		jt.m.inputDecodedBytes.Add(rstats.BytesDecoded)
 		out, err = mapreduce.ExecuteMap(ctx, jr.job, records)
 	}
 
@@ -590,11 +600,21 @@ func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool
 		readCost = jt.mc.Cost.ParallelStorageRead(
 			client.Meter.BytesRead(), jt.runningMapAttempts())
 	}
+	// The mapper's CPU runs over logical (decoded) bytes; for plain text
+	// that is the split length it always was.
+	mapBytes := split.Length
+	if rstats.Compressed {
+		mapBytes = rstats.BytesDecoded
+	}
 	duration := readCost +
-		jt.mc.cfg.MapWork.Cost(split.Length, ctx.Counters.Get(mapreduce.CtrMapInputRecords)) +
+		jt.mc.cfg.MapWork.Cost(mapBytes, ctx.Counters.Get(mapreduce.CtrMapInputRecords)) +
 		// Parsing side data costs CPU every time it is read, whether the
 		// bytes came from HDFS or from the DistributedCache copy.
 		jt.mc.cfg.MapWork.Cost(ctx.Counters.Get(mapreduce.CtrSideFileBytesRead), 0)
+	if rstats.Compressed {
+		// Inflating the input costs CPU per decoded byte.
+		duration += jt.mc.cfg.CompressWork.Cost(rstats.BytesDecoded, 0)
+	}
 	if jr.job.NewCombiner != nil {
 		duration += jt.mc.cfg.CombineWork.Cost(0, ctx.Counters.Get(mapreduce.CtrCombineInputRecords))
 	}
@@ -753,8 +773,13 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 
 	// Shuffle cost: fetch this reducer's partition from every map node,
 	// ShuffleParallelism streams at a time. With CompressShuffle the wire
-	// (and map-side disk) carries the real gzip size instead of raw bytes,
-	// and both ends pay compression CPU.
+	// (and map-side disk) carries the real compressed size under the
+	// configured shuffle codec instead of raw bytes, and both ends pay
+	// compression CPU.
+	var shufCodec iofmt.Codec
+	if jt.mc.cfg.CompressShuffle {
+		shufCodec, _ = iofmt.ByName(jt.mc.cfg.ShuffleCodec)
+	}
 	var runs [][]mapreduce.Pair
 	var perSource []time.Duration
 	var shuffleBytes, rawBytes, shuffleRecords int64
@@ -767,8 +792,8 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 		}
 		rawBytes += b
 		wire := b
-		if jt.mc.cfg.CompressShuffle && b > 0 {
-			wire = gzipSize(part)
+		if shufCodec != nil && b > 0 {
+			wire = shuffleWireSize(shufCodec, part)
 		}
 		shuffleBytes += wire
 		shuffleRecords += int64(len(part))
@@ -789,18 +814,27 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 	client := jt.mc.DFS.Client(tt.id)
 	ctx := mapreduce.NewTaskContext(jr.id, a.id(), client, jr.job)
 	ctx.Counters.Inc(mapreduce.CtrShuffleBytes, shuffleBytes)
-	var buf bytes.Buffer
-	_, err := mapreduce.ExecuteReduce(ctx, jr.job, runs, &buf)
+	ow, err := mapreduce.NewOutputWriter(jr.job)
+	if err == nil {
+		_, err = mapreduce.ExecuteReduce(ctx, jr.job, runs, ow)
+	}
+	var data []byte
+	var ostats mapreduce.OutputStats
+	if err == nil {
+		data, ostats, err = ow.Finish()
+	}
 	if err != nil {
 		a.timer = jt.mc.Engine.After(shuffleTime, func() {
 			jt.failReduceAttempt(a, err, false)
 		})
 		return true
 	}
+	ctx.Counters.Inc(mapreduce.CtrOutputRawBytes, ostats.RawBytes)
+	jt.m.outputFileBytes.Add(ostats.FileBytes)
 	// Commit protocol: write to a temporary attempt file now, rename to
 	// the final part file at completion (Hadoop's OutputCommitter).
 	a.tempPath = vfs.Join(jr.job.OutputPath, "_temporary", a.id())
-	if werr := vfs.WriteFile(client, a.tempPath, buf.Bytes()); werr != nil {
+	if werr := vfs.WriteFile(client, a.tempPath, data); werr != nil {
 		a.timer = jt.mc.Engine.After(shuffleTime, func() {
 			jt.failReduceAttempt(a, werr, false)
 		})
@@ -809,6 +843,10 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 	duration := shuffleTime +
 		jt.mc.cfg.ReduceWork.Cost(shuffleBytes, shuffleRecords) +
 		client.Meter.WriteTime
+	if c, cerr := iofmt.ByName(jr.job.OutputCodec); cerr == nil && c != nil {
+		// Compressing the committed output costs CPU per raw byte.
+		duration += jt.mc.cfg.CompressWork.Cost(ostats.RawBytes, 0)
+	}
 	duration = time.Duration(float64(duration) * jt.slowdown(tt.id))
 	a.expectedEnd = a.startedAt + duration
 	if fault := jt.pickFault(jr, ScopeShuffle); fault != nil {
@@ -834,24 +872,20 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 	return true
 }
 
-// gzipSize returns the real gzip-compressed size of a partition's pairs —
-// the wire bytes a compressed shuffle actually moves.
-func gzipSize(pairs []mapreduce.Pair) int64 {
-	var cw countWriter
-	zw := gzip.NewWriter(&cw)
+// shuffleWireSize returns the real compressed size of a partition's
+// pairs under the shuffle codec — the wire bytes a compressed shuffle
+// actually moves.
+func shuffleWireSize(c iofmt.Codec, pairs []mapreduce.Pair) int64 {
+	var buf bytes.Buffer
 	for _, p := range pairs {
-		zw.Write([]byte(p.Key))
-		zw.Write(p.Val)
+		buf.WriteString(p.Key)
+		buf.Write(p.Val)
 	}
-	zw.Close()
-	return cw.n
-}
-
-type countWriter struct{ n int64 }
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	c.n += int64(len(p))
-	return len(p), nil
+	n, err := iofmt.CompressedSize(c, buf.Bytes())
+	if err != nil {
+		return int64(buf.Len())
+	}
+	return n
 }
 
 // parallelTime models n transfers served k at a time: total work divided
@@ -893,7 +927,7 @@ func (jt *JobTracker) completeReduceAttempt(a *attempt, ctx *mapreduce.TaskConte
 	}
 	// Commit: rename the attempt file to the final part file.
 	client := jt.mc.DFS.Client(a.tt.id)
-	final := vfs.Join(jr.job.OutputPath, mapreduce.PartitionName(t.idx))
+	final := vfs.Join(jr.job.OutputPath, jr.job.OutputPartName(t.idx))
 	if err := client.Rename(a.tempPath, final); err != nil {
 		jt.failJob(jr, fmt.Errorf("commit of %s: %w", a.id(), err))
 		return

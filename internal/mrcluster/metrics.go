@@ -17,6 +17,8 @@ const (
 	MetricJTTrackerLosses     = "mr.jt.tracker_losses"
 	MetricJTSchedulePasses    = "mr.jt.schedule_passes"
 	MetricJTShuffleBytes      = "mr.jt.shuffle_bytes"
+	MetricJTInputDecodedBytes = "mr.jt.input_decoded_bytes"
+	MetricJTOutputFileBytes   = "mr.jt.output_file_bytes"
 	MetricJTMapsDataLocal     = "mr.jt.maps_data_local"
 	MetricJTMapsRackLocal     = "mr.jt.maps_rack_local"
 	MetricJTMapsRemote        = "mr.jt.maps_remote"
@@ -44,6 +46,8 @@ type jtMetrics struct {
 	trackerLosses     *obs.Counter
 	schedulePasses    *obs.Counter
 	shuffleBytes      *obs.Counter
+	inputDecodedBytes *obs.Counter
+	outputFileBytes   *obs.Counter
 	mapsDataLocal     *obs.Counter
 	mapsRackLocal     *obs.Counter
 	mapsRemote        *obs.Counter
@@ -66,6 +70,8 @@ func newJTMetrics(r *obs.Registry) jtMetrics {
 		trackerLosses:     r.Counter(MetricJTTrackerLosses),
 		schedulePasses:    r.Counter(MetricJTSchedulePasses),
 		shuffleBytes:      r.Counter(MetricJTShuffleBytes),
+		inputDecodedBytes: r.Counter(MetricJTInputDecodedBytes),
+		outputFileBytes:   r.Counter(MetricJTOutputFileBytes),
 		mapsDataLocal:     r.Counter(MetricJTMapsDataLocal),
 		mapsRackLocal:     r.Counter(MetricJTMapsRackLocal),
 		mapsRemote:        r.Counter(MetricJTMapsRemote),

@@ -44,12 +44,16 @@ type Config struct {
 	// TaskTracker (Hadoop's DistributedCache): the first task on a node
 	// pays the HDFS read; subsequent tasks read the local copy for free.
 	DistributedCache bool
-	// CompressShuffle gzips map outputs before the shuffle
+	// CompressShuffle compresses map outputs before the shuffle
 	// (mapred.compress.map.output): network bytes drop to the real
 	// compressed size, at a CPU cost per uncompressed byte on both sides.
 	CompressShuffle bool
-	// CompressWork is the per-byte CPU cost of shuffle compression +
-	// decompression (default 6ns/B).
+	// ShuffleCodec names the iofmt codec the compressed shuffle uses
+	// (default "gzip"; "lzs" trades ratio for the cheaper LZ class).
+	ShuffleCodec string
+	// CompressWork is the per-byte CPU cost of compression +
+	// decompression — shuffle, compressed inputs and compressed outputs
+	// all charge it (default 6ns/B).
 	CompressWork cluster.CPUWork
 	// ShuffleParallelism is the number of concurrent fetch streams per
 	// reduce task (Hadoop's parallel copies, default 5).
@@ -89,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompressWork == (cluster.CPUWork{}) {
 		c.CompressWork = cluster.CPUWork{PerByte: 6}
+	}
+	if c.ShuffleCodec == "" {
+		c.ShuffleCodec = "gzip"
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 3 * time.Second

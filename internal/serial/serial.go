@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/iofmt"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/vfs"
@@ -99,12 +100,13 @@ func (r *Runner) Run(job *mapreduce.Job) (*Report, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			ctx := mapreduce.NewTaskContext(job.Name, fmt.Sprintf("attempt_m_%06d_0", i), r.FS, job)
-			recs, bytesRead, err := mapreduce.ReadSplitRecords(r.FS, split)
+			recs, rstats, err := mapreduce.ReadSplitRecords(r.FS, split)
 			if err != nil {
 				results[i] = mapResult{err: fmt.Errorf("split %v: %w", split, err)}
 				return
 			}
-			ctx.Counters.Inc(mapreduce.CtrFileBytesRead, bytesRead)
+			ctx.Counters.Inc(mapreduce.CtrFileBytesRead, rstats.BytesRead)
+			ctx.Counters.Inc(mapreduce.CtrInputDecodedBytes, rstats.BytesDecoded)
 			out, err := mapreduce.ExecuteMap(ctx, job, recs)
 			results[i] = mapResult{out: out, ctx: ctx, err: err}
 		}(i, split)
@@ -127,15 +129,23 @@ func (r *Runner) Run(job *mapreduce.Job) (*Report, error) {
 	}
 	for p := 0; p < nReduce; p++ {
 		ctx := mapreduce.NewTaskContext(job.Name, fmt.Sprintf("attempt_r_%06d_0", p), r.FS, job)
-		var buf bytes.Buffer
-		if _, err := mapreduce.ExecuteReduce(ctx, job, runsByPartition[p], &buf); err != nil {
+		ow, err := mapreduce.NewOutputWriter(job)
+		if err != nil {
 			return nil, err
 		}
-		outPath := vfs.Join(job.OutputPath, mapreduce.PartitionName(p))
-		if err := vfs.WriteFile(r.FS, outPath, buf.Bytes()); err != nil {
+		if _, err := mapreduce.ExecuteReduce(ctx, job, runsByPartition[p], ow); err != nil {
 			return nil, err
 		}
-		ctx.Counters.Inc(mapreduce.CtrFileBytesWritten, int64(buf.Len()))
+		data, ostats, err := ow.Finish()
+		if err != nil {
+			return nil, err
+		}
+		outPath := vfs.Join(job.OutputPath, job.OutputPartName(p))
+		if err := vfs.WriteFile(r.FS, outPath, data); err != nil {
+			return nil, err
+		}
+		ctx.Counters.Inc(mapreduce.CtrFileBytesWritten, int64(len(data)))
+		ctx.Counters.Inc(mapreduce.CtrOutputRawBytes, ostats.RawBytes)
 		total.Merge(ctx.Counters)
 	}
 	if err := vfs.WriteFile(r.FS, vfs.Join(job.OutputPath, "_SUCCESS"), nil); err != nil {
@@ -150,6 +160,7 @@ func (r *Runner) Run(job *mapreduce.Job) (*Report, error) {
 	r.Obs.Counter("serial.map_input_records").Add(total.Get(mapreduce.CtrMapInputRecords))
 	r.Obs.Counter("serial.bytes_read").Add(total.Get(mapreduce.CtrFileBytesRead))
 	r.Obs.Counter("serial.bytes_written").Add(total.Get(mapreduce.CtrFileBytesWritten))
+	r.Obs.Counter("serial.bytes_decoded").Add(total.Get(mapreduce.CtrInputDecodedBytes))
 
 	return &Report{
 		JobName:     job.Name,
@@ -161,7 +172,9 @@ func (r *Runner) Run(job *mapreduce.Job) (*Report, error) {
 }
 
 // ReadOutput concatenates the part files of a completed job in order,
-// a convenience for tests and examples.
+// rendering each back to canonical text whatever its container format —
+// so outputs compare byte-identical across text, compressed and
+// SequenceFile jobs. A convenience for tests and examples.
 func ReadOutput(fs vfs.FileSystem, outputPath string) (string, error) {
 	infos, err := fs.List(outputPath)
 	if err != nil {
@@ -176,7 +189,11 @@ func ReadOutput(fs vfs.FileSystem, outputPath string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		b.Write(data)
+		text, err := iofmt.DecodeToText(fi.Path, data)
+		if err != nil {
+			return "", fmt.Errorf("decoding %s: %w", fi.Path, err)
+		}
+		b.Write(text)
 	}
 	return b.String(), nil
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/hdfs"
+	"repro/internal/iofmt"
 	"repro/internal/vfs"
 )
 
@@ -72,6 +73,8 @@ func (s *Shell) Run(args ...string) error {
 		return s.each(rest, 1, s.FS.Mkdir)
 	case "-cat":
 		return s.each(rest, 1, s.cat)
+	case "-text":
+		return s.each(rest, 1, s.text)
 	case "-tail":
 		return s.each(rest, 1, s.tail)
 	case "-rm":
@@ -202,6 +205,22 @@ func (s *Shell) cat(p string) error {
 		return err
 	}
 	_, err = s.Out.Write(data)
+	return err
+}
+
+// text is the codec- and container-aware -cat: compressed files are
+// inflated and SequenceFiles render one "key<TAB>value" line per record,
+// exactly Hadoop's `fs -text`.
+func (s *Shell) text(p string) error {
+	data, err := vfs.ReadFile(s.FS, p)
+	if err != nil {
+		return err
+	}
+	out, err := iofmt.DecodeToText(p, data)
+	if err != nil {
+		return fmt.Errorf("shell: -text %s: %w", p, err)
+	}
+	_, err = s.Out.Write(out)
 	return err
 }
 
@@ -379,6 +398,7 @@ func (s *Shell) help() error {
   -put <local> <dfs>    copy from local filesystem (alias -copyFromLocal)
   -get <dfs> <local>    copy to local filesystem (alias -copyToLocal)
   -cat <path>           print file contents
+  -text <path>          print file contents, decoding codecs and SequenceFiles
   -tail <path>          print last 1KB of a file
   -mv <src> <dst>       rename / move
   -rm <path>            delete a file

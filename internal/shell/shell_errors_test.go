@@ -1,13 +1,60 @@
 package shell_test
 
 import (
+	"bytes"
 	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/iofmt"
 	"repro/internal/shell"
 	"repro/internal/vfs"
 )
+
+// textFixtures builds the -text test files: a gzipped copy of a.txt, a
+// small SequenceFile, and three corrupt variants (wrong magic, truncated
+// block, unregistered codec name).
+func textFixtures(t *testing.T) map[string][]byte {
+	t.Helper()
+	gz, err := iofmt.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzData, err := gz.Compress([]byte("hello hdfs\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seqBuf bytes.Buffer
+	sw, err := iofmt.NewSeqWriter(&seqBuf, iofmt.SeqWriterOptions{Codec: gz, BlockRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]string{{"k1", "v1"}, {"k2", "v2"}, {"k3", "v3"}} {
+		if err := sw.Append([]byte(kv[0]), []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seq := seqBuf.Bytes()
+
+	// An otherwise-valid header naming a codec nobody registered.
+	unk := []byte(iofmt.SeqMagic)
+	unk = append(unk, 1, 5)
+	unk = append(unk, "nosuc"...)
+	unk = append(unk, make([]byte, iofmt.SyncSize)...)
+
+	return map[string][]byte{
+		"/data/a.txt.gz":     gzData,
+		"/data/a.seq":        seq,
+		"/data/bad.gz":       []byte("this is not a gzip stream"),
+		"/data/notseq.seq":   []byte("this is not a sequencefile"),
+		"/data/trunc.seq":    seq[:len(seq)-4],
+		"/data/unkcodec.seq": unk,
+	}
+}
 
 // TestCommandErrorPaths pins the failure behaviour of the inspection
 // commands the second assignment leans on (-du, -setrep, -stat, -rm):
@@ -49,10 +96,22 @@ func TestCommandErrorPaths(t *testing.T) {
 		{name: "rm no args", args: []string{"-rm"}, wantErr: shell.ErrUsage},
 		{name: "rm non-empty dir without -rmr", args: []string{"-rm", "/data"}, wantErr: vfs.ErrNotEmpty},
 		{name: "rm plain file succeeds", args: []string{"-rm", "/data/b.txt"}},
+
+		// -text: decode paths and their failure modes.
+		{name: "text no args", args: []string{"-text"}, wantErr: shell.ErrUsage},
+		{name: "text missing path", args: []string{"-text", "/nope"}, wantErr: vfs.ErrNotExist},
+		{name: "text plain file passes through", args: []string{"-text", "/data/a.txt"}, wantOut: "hello hdfs"},
+		{name: "text inflates gzip", args: []string{"-text", "/data/a.txt.gz"}, wantOut: "hello hdfs"},
+		{name: "text renders sequencefile", args: []string{"-text", "/data/a.seq"}, wantOut: "k1\tv1"},
+		{name: "text gz with bad magic", args: []string{"-text", "/data/bad.gz"}, wantErr: iofmt.ErrCorrupt},
+		{name: "text seq with bad magic", args: []string{"-text", "/data/notseq.seq"}, wantErr: iofmt.ErrBadMagic},
+		{name: "text truncated seq block", args: []string{"-text", "/data/trunc.seq"}, wantErr: iofmt.ErrTruncated},
+		{name: "text unknown seq codec", args: []string{"-text", "/data/unkcodec.seq"}, wantErr: iofmt.ErrUnknownCodec},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			// Fresh cluster per case: /data/a.txt (11 bytes), /data/b.txt.
+			// Fresh cluster per case: /data/a.txt (11 bytes), /data/b.txt,
+			// plus format fixtures (valid and deliberately broken) for -text.
 			sh, _, out := newShell(t)
 			if err := vfs.WriteFile(sh.Local, "/a.txt", []byte("hello hdfs\n")); err != nil {
 				t.Fatal(err)
@@ -63,6 +122,11 @@ func TestCommandErrorPaths(t *testing.T) {
 				{"-put", "/a.txt", "/data/b.txt"},
 			} {
 				if err := sh.Run(cmd...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for path, data := range textFixtures(t) {
+				if err := vfs.WriteFile(sh.FS, path, data); err != nil {
 					t.Fatal(err)
 				}
 			}
