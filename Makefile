@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short check race chaos bench bench-smoke ci
+.PHONY: build test short check race chaos bench bench-smoke ci lint
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,22 @@ test: build
 short:
 	$(GO) test -short ./...
 
-# Full verification: vet + the entire suite under the race detector
-# (includes the obs registry, whose counters are read concurrently by the
-# web UI while hot paths write them).
+# Determinism & concurrency lint (see docs/LINT.md): wall-clock reads,
+# shared rand, order-dependent map iteration, lock misuse, library
+# hygiene. Runs after vet — vet catches what the compiler misses, lint
+# catches what vet can't know (the repo's own sim-clock/seeded-rand
+# contracts).
+lint:
+	$(GO) run ./cmd/minilint ./internal/... ./cmd/...
+
+# Full verification: vet, then the repo lint suite, then the entire test
+# suite under the race detector (includes the obs registry, whose
+# counters are read concurrently by the web UI while hot paths write
+# them). Gate order is cheapest-first: vet and lint fail in seconds,
+# -race takes minutes.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/minilint ./internal/... ./cmd/...
 	$(GO) test -race ./...
 
 # Just the concurrency-sensitive surface, race-checked.
@@ -38,10 +49,13 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ .
 
-# The gate a PR must pass end to end: vet, build, tier-1 tests, the
-# race-checked obs + fault-injection subset, and a benchmark smoke run.
+# The gate a PR must pass end to end: vet, lint, build, tier-1 tests,
+# the race-checked obs + fault-injection subset, and a benchmark smoke
+# run. Static gates (vet, lint) come before tests so a determinism
+# violation fails the build even when no test happens to exercise it.
 ci: build
 	$(GO) vet ./...
+	$(GO) run ./cmd/minilint ./internal/... ./cmd/...
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/iofmt/...
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

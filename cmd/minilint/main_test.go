@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	cleanDir = "../../internal/lint/testdata/clean"
+	dirtyDir = "../../internal/lint/testdata/dirty"
+)
+
+// TestSelfCheckClean: the driver run against the clean fixture package
+// prints nothing and exits 0 — the shape of a passing `make lint`.
+func TestSelfCheckClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{cleanDir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("want empty stdout, got:\n%s", stdout.String())
+	}
+}
+
+// TestSelfCheckDirty pins the driver's findings for the dirty fixture:
+// exit 1 and exactly this diagnostic list (file:line and rule; messages
+// are free to evolve). The list doubles as a read-out of what the suite
+// currently catches — update it deliberately when adding cases.
+func TestSelfCheckDirty(t *testing.T) {
+	want := []string{
+		"globalrand.go:10 globalrand",
+		"globalrand.go:11 globalrand",
+		"globalrand.go:12 globalrand",
+		"globalrand.go:13 globalrand",
+		"globalrand.go:18 globalrand",
+		"ignore.go:18 wallclock",
+		"ignore.go:22 unused-ignore",
+		"ignore.go:23 wallclock",
+		"ignore.go:26 unused-ignore",
+		"libhygiene.go:13 libhygiene",
+		"libhygiene.go:14 libhygiene",
+		"libhygiene.go:15 libhygiene",
+		"libhygiene.go:16 libhygiene",
+		"lockguard.go:27 lockguard",
+		"lockguard.go:35 lockguard",
+		"lockguard.go:66 lockguard",
+		"maporder.go:11 maporder",
+		"maporder.go:43 maporder",
+		"maporder.go:49 maporder",
+		"maporder.go:55 maporder",
+		"wallclock.go:10 wallclock",
+		"wallclock.go:11 wallclock",
+		"wallclock.go:12 wallclock",
+		"wallclock.go:13 wallclock",
+		"wallclock.go:15 wallclock",
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dirtyDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var got []string
+	for _, line := range strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n") {
+		// "path/file.go:NN: [rule] message" -> "file.go:NN rule"
+		loc, rest, ok := strings.Cut(line, ": [")
+		if !ok {
+			t.Fatalf("unparseable output line %q", line)
+		}
+		rule, _, ok := strings.Cut(rest, "]")
+		if !ok {
+			t.Fatalf("unparseable output line %q", line)
+		}
+		got = append(got, filepath.Base(loc)+" "+rule)
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d findings, want %d", len(got), len(want))
+	}
+	for i := 0; i < len(got) || i < len(want); i++ {
+		w, g := "", ""
+		if i < len(want) {
+			w = want[i]
+		}
+		if i < len(got) {
+			g = got[i]
+		}
+		if w != g {
+			t.Errorf("finding %d: got %q, want %q", i, g, w)
+		}
+	}
+}
+
+// TestListAnalyzers: -list names every rule, one per line.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, rule := range []string{"wallclock", "globalrand", "maporder", "libhygiene", "lockguard"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}

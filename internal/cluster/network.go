@@ -1,5 +1,7 @@
 package cluster
 
+import "slices"
+
 // Network is the mutable connectivity overlay on a Topology: the topology
 // says what the wiring *is*, the network says which links currently work.
 // Every data-plane transfer in the stack (HDFS reads and pipeline writes,
@@ -85,10 +87,6 @@ func (n *Network) IsolatedNodes() []NodeID {
 			out = append(out, id)
 		}
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.Sort(out)
 	return out
 }

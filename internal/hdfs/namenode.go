@@ -3,6 +3,7 @@ package hdfs
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/cluster"
@@ -314,11 +315,7 @@ func (nn *NameNode) LiveDataNodes() []cluster.NodeID {
 }
 
 func sortNodeIDs(ids []cluster.NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 }
 
 // --- placement ---
@@ -628,11 +625,7 @@ func (nn *NameNode) replicationMonitor() {
 		ids = append(ids, id)
 	}
 	// Deterministic iteration order.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 	for _, id := range ids {
 		bm := nn.blocks[id]
 		live := nn.liveReplicas(bm)

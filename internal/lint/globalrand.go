@@ -1,0 +1,54 @@
+package lint
+
+import "go/ast"
+
+// Globalrand forbids math/rand's package-level functions and opaque
+// rand.New sources outside internal/sim. The package-level source is
+// shared mutable state: any call order change anywhere in the process
+// perturbs every later draw, which silently breaks seed-for-seed
+// reproducibility. Components must take a seeded sim.Rand (usually
+// derived per component with Derive) so randomness is scoped and
+// replayable. internal/sim itself is the one place allowed to touch
+// math/rand — it is the wrapper.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand and unseeded rand.New outside internal/sim; use sim.Rand",
+	Skip: func(pkg *Package) bool { return hasPathSegment(pkg.ImportPath, "sim") },
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) {
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		forEachPkgCall(pass, path, func(call callSite) {
+			switch call.fn {
+			case "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+				// Constructing a source from an explicit seed is exactly
+				// what deterministic code should do.
+				return
+			case "New":
+				// rand.New(rand.NewSource(seed)) is seeded and fine; any
+				// other argument hides where the seed comes from.
+				if len(call.call.Args) == 1 && isSeededSource(pass.Pkg, call.call.Args[0]) {
+					return
+				}
+				pass.Report(call.pos, "rand.New without an inline rand.NewSource(seed) hides the seed; use sim.NewRand or rand.New(rand.NewSource(seed))")
+			default:
+				pass.Report(call.pos, "rand.%s uses the package-level shared source; draw from a seeded sim.Rand instead", call.fn)
+			}
+		})
+	}
+}
+
+// isSeededSource reports whether the expression is a direct
+// rand.NewSource(...) / rand.NewPCG(...) call.
+func isSeededSource(pkg *Package, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	path, fn, ok := pkgFuncCall(pkg, call)
+	if !ok || (path != "math/rand" && path != "math/rand/v2") {
+		return false
+	}
+	return fn == "NewSource" || fn == "NewPCG"
+}

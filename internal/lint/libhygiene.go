@@ -1,0 +1,39 @@
+package lint
+
+// Libhygiene keeps internal/ library packages silent and killable: no
+// printing to stdout, no process exits, no log.Fatal. Library errors
+// must flow up as error values so the CLIs decide presentation and exit
+// codes — and so a failing simulation surfaces as a test failure, not a
+// dead test process. Writing to an io.Writer handed in by the caller
+// (fmt.Fprintf) stays legal.
+var Libhygiene = &Analyzer{
+	Name: "libhygiene",
+	Doc:  "forbid fmt.Print*/os.Exit/log.Fatal* in internal/ libraries; return errors instead",
+	Skip: func(pkg *Package) bool { return !isInternalPackage(pkg) },
+	Run:  runLibhygiene,
+}
+
+var libhygieneFmt = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+var libhygieneLog = map[string]bool{
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func runLibhygiene(pass *Pass) {
+	forEachPkgCall(pass, "fmt", func(call callSite) {
+		if libhygieneFmt[call.fn] {
+			pass.Report(call.pos, "fmt.%s writes to stdout from a library; return the string or take an io.Writer", call.fn)
+		}
+	})
+	forEachPkgCall(pass, "os", func(call callSite) {
+		if call.fn == "Exit" {
+			pass.Report(call.pos, "os.Exit kills the process from a library; return an error and let cmd/ decide")
+		}
+	})
+	forEachPkgCall(pass, "log", func(call callSite) {
+		if libhygieneLog[call.fn] {
+			pass.Report(call.pos, "log.%s aborts the process from a library; return an error instead", call.fn)
+		}
+	})
+}

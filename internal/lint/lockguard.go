@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lockguard is a heuristic self-deadlock and leaked-lock detector for
+// the simple mutex discipline this codebase uses (a struct guards its
+// state with a sync.Mutex/RWMutex field). It flags two shapes, scanning
+// each method's statements in source order:
+//
+//   - a method that acquires a mutex field and, while still holding it,
+//     calls a sibling method that acquires the same field (instant
+//     self-deadlock for sync.Mutex; undefined for RWMutex write locks);
+//   - a method that acquires without an immediate deferred release and
+//     returns on a path before the unlock — the classic leaked lock on
+//     an early error return.
+//
+// It is deliberately conservative: lock operations inside nested
+// function literals are ignored except for "defer func() { unlock }"
+// wrappers, and a pure RLock→RLock chain is allowed.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "flag methods that re-acquire a held mutex via a sibling call or return while holding it",
+	Run:  runLockguard,
+}
+
+// lockEvent is one ordered occurrence inside a method body.
+type lockEvent struct {
+	pos   token.Pos
+	kind  string // "lock", "rlock", "unlock", "runlock", "defer-unlock", "defer-runlock", "return", "call"
+	field string // mutex field for lock ops; method name for calls
+}
+
+const embeddedMutex = "(embedded)"
+
+func runLockguard(pass *Pass) {
+	mutexFields := map[string]map[string]bool{} // type name -> mutex field names
+	inspectAll(pass.Pkg, func(node ast.Node) bool {
+		ts, ok := node.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, f := range st.Fields.List {
+			if !isSyncMutexType(pass.Pkg, f.Type) {
+				continue
+			}
+			if mutexFields[ts.Name.Name] == nil {
+				mutexFields[ts.Name.Name] = map[string]bool{}
+			}
+			if len(f.Names) == 0 {
+				mutexFields[ts.Name.Name][embeddedMutex] = true
+			}
+			for _, n := range f.Names {
+				mutexFields[ts.Name.Name][n.Name] = true
+			}
+		}
+		return true
+	})
+	if len(mutexFields) == 0 {
+		return
+	}
+
+	// Gather methods per guarded type and which fields each one locks.
+	type method struct {
+		decl   *ast.FuncDecl
+		recv   string
+		events []lockEvent
+	}
+	methods := map[string]map[string]*method{} // type -> name -> method
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			tname := recvTypeName(fd.Recv.List[0].Type)
+			if mutexFields[tname] == nil {
+				continue
+			}
+			recv := ""
+			if len(fd.Recv.List[0].Names) > 0 {
+				recv = fd.Recv.List[0].Names[0].Name
+			}
+			if recv == "" || recv == "_" {
+				continue
+			}
+			m := &method{decl: fd, recv: recv}
+			m.events = collectLockEvents(fd.Body, recv, mutexFields[tname])
+			if methods[tname] == nil {
+				methods[tname] = map[string]*method{}
+			}
+			methods[tname][fd.Name.Name] = m
+		}
+	}
+
+	// locksOf reports the fields a method write-locks / read-locks.
+	locksOf := func(m *method) (write, read map[string]bool) {
+		write, read = map[string]bool{}, map[string]bool{}
+		for _, e := range m.events {
+			switch e.kind {
+			case "lock":
+				write[e.field] = true
+			case "rlock":
+				read[e.field] = true
+			}
+		}
+		return
+	}
+
+	tnames := make([]string, 0, len(methods))
+	for t := range methods {
+		tnames = append(tnames, t)
+	}
+	sort.Strings(tnames)
+	for _, tname := range tnames {
+		mnames := make([]string, 0, len(methods[tname]))
+		for mn := range methods[tname] {
+			mnames = append(mnames, mn)
+		}
+		sort.Strings(mnames)
+		for _, mname := range mnames {
+			m := methods[tname][mname]
+			held := ""       // mutex field currently held ("" = none)
+			heldKind := ""   // "lock" or "rlock"
+			deferred := false // a deferred release protects returns
+			for _, e := range m.events {
+				switch e.kind {
+				case "lock", "rlock":
+					held, heldKind = e.field, e.kind
+					deferred = false
+				case "unlock", "runlock":
+					if e.field == held {
+						held = ""
+					}
+				case "defer-unlock", "defer-runlock":
+					if e.field == held {
+						deferred = true
+					}
+				case "return":
+					if held != "" && !deferred {
+						pass.Report(e.pos, "return while holding %s.%s with no deferred unlock; the lock leaks on this path", m.recv, printableField(held))
+					}
+				case "call":
+					if held == "" {
+						continue
+					}
+					callee := methods[tname][e.field]
+					if callee == nil {
+						continue
+					}
+					w, r := locksOf(callee)
+					if w[held] || (r[held] && heldKind == "lock") {
+						pass.Report(e.pos, "%s.%s() also acquires %s.%s, which is still held here; self-deadlock", m.recv, e.field, m.recv, printableField(held))
+					}
+				}
+			}
+		}
+	}
+}
+
+func printableField(field string) string {
+	if field == embeddedMutex {
+		return "Mutex"
+	}
+	return field
+}
+
+// isSyncMutexType reports whether a field type is sync.Mutex/RWMutex,
+// by import resolution (handles renamed imports via the file fallback).
+func isSyncMutexType(pkg *Package, expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Mutex" && sel.Sel.Name != "RWMutex" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if x.Name == "sync" {
+		return true
+	}
+	f := fileOf(pkg, expr)
+	if f == nil {
+		return false
+	}
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == "sync" &&
+			imp.Name != nil && imp.Name.Name == x.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the named type of a method receiver ("T" for
+// both T and *T, including generic receivers).
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}
+
+// collectLockEvents walks a method body in source order, recording lock
+// operations on recv's mutex fields, returns, and same-receiver method
+// calls. Nested function literals are skipped (they run later, if at
+// all) except as "defer func() { recv.mu.Unlock() }()" wrappers.
+func collectLockEvents(body *ast.BlockStmt, recv string, fields map[string]bool) []lockEvent {
+	var events []lockEvent
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch s := node.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if field, op, ok := lockOp(s.Call, recv, fields); ok {
+					if op == "unlock" || op == "runlock" {
+						events = append(events, lockEvent{pos: s.Pos(), kind: "defer-" + op, field: field})
+					}
+					return false
+				}
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(inner ast.Node) bool {
+						if call, ok := inner.(*ast.CallExpr); ok {
+							if field, op, ok := lockOp(call, recv, fields); ok && strings.HasSuffix(op, "unlock") {
+								events = append(events, lockEvent{pos: s.Pos(), kind: "defer-" + op, field: field})
+							}
+						}
+						return true
+					})
+					return false
+				}
+				return false
+			case *ast.ReturnStmt:
+				events = append(events, lockEvent{pos: s.Pos(), kind: "return"})
+			case *ast.CallExpr:
+				if field, op, ok := lockOp(s, recv, fields); ok {
+					events = append(events, lockEvent{pos: s.Pos(), kind: op, field: field})
+					return false
+				}
+				if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+					if x, ok := sel.X.(*ast.Ident); ok && x.Name == recv {
+						events = append(events, lockEvent{pos: s.Pos(), kind: "call", field: sel.Sel.Name})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// lockOp matches recv.field.Lock()-shaped calls (and recv.Lock() for an
+// embedded mutex), returning the field and the operation.
+func lockOp(call *ast.CallExpr, recv string, fields map[string]bool) (field, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op = "lock"
+	case "RLock":
+		op = "rlock"
+	case "Unlock":
+		op = "unlock"
+	case "RUnlock":
+		op = "runlock"
+	default:
+		return "", "", false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		// recv.Lock(): embedded mutex.
+		if x.Name == recv && fields[embeddedMutex] {
+			return embeddedMutex, op, true
+		}
+	case *ast.SelectorExpr:
+		// recv.field.Lock().
+		if base, isIdent := x.X.(*ast.Ident); isIdent && base.Name == recv && fields[x.Sel.Name] {
+			return x.Sel.Name, op, true
+		}
+	}
+	return "", "", false
+}

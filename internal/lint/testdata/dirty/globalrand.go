@@ -1,0 +1,24 @@
+package dirty
+
+import (
+	"math/rand"
+
+	mrand "math/rand"
+)
+
+func globalDraws() int {
+	x := rand.Intn(10)  // want: globalrand
+	f := rand.Float64() // want: globalrand
+	rand.Shuffle(3, func(i, j int) {}) // want: globalrand
+	y := mrand.Int63() // want: globalrand
+	return x + int(f) + int(y)
+}
+
+func opaqueSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want: globalrand
+}
+
+func seededAllowed(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}

@@ -1,0 +1,25 @@
+package dirty
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func noisyFailure(err error) error {
+	if err != nil {
+		fmt.Println("failed:", err)  // want: libhygiene
+		fmt.Printf("err: %v\n", err) // want: libhygiene
+		log.Fatalf("fatal: %v", err) // want: libhygiene
+		os.Exit(1)                   // want: libhygiene
+	}
+	return errors.New("wrapped")
+}
+
+func writerAllowed(w io.Writer) {
+	// Writing to a caller-supplied stream is the sanctioned way for a
+	// library to produce output.
+	fmt.Fprintln(w, "progress")
+}

@@ -1,0 +1,36 @@
+package lint
+
+// wallclockFuncs are the time functions that read or wait on the real
+// clock. time.Duration arithmetic and constants stay legal: the sim
+// engine's virtual instants are themselves durations.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock forbids reading the wall clock in library packages. Every
+// timed behavior (heartbeats, timeouts, task durations) must run on the
+// sim engine's virtual clock, or identical seeds stop producing
+// identical golden traces. Binaries under cmd/ are exempt — a CLI may
+// measure real elapsed time for its user.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Sleep/After/... in sim-facing library packages; use the sim clock",
+	Skip: func(pkg *Package) bool { return isCmdPackage(pkg) },
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	forEachPkgCall(pass, "time", func(call callSite) {
+		if wallclockFuncs[call.fn] {
+			pass.Report(call.pos, "time.%s reads the wall clock; use the sim engine's virtual clock (sim.Engine.Now/After/Every)", call.fn)
+		}
+	})
+}

@@ -125,7 +125,10 @@ type JobTracker struct {
 	mc  *MRCluster
 	rng *sim.Rand
 
-	trackers   map[cluster.NodeID]*TaskTracker
+	// hostToNode is lookup-only (never ranged): map iteration order must
+	// not reach scheduling, so every decision loop below walks the
+	// node-ordered mc.trackers slice or the submission-ordered jobs
+	// slice instead of a map.
 	hostToNode map[string]cluster.NodeID
 
 	jobs   []*jobRun
@@ -145,7 +148,6 @@ func newJobTracker(mc *MRCluster, rng *sim.Rand) *JobTracker {
 	jt := &JobTracker{
 		mc:         mc,
 		rng:        rng,
-		trackers:   map[cluster.NodeID]*TaskTracker{},
 		hostToNode: map[string]cluster.NodeID{},
 		m:          newJTMetrics(mc.Obs),
 	}
@@ -1042,6 +1044,10 @@ func (jt *JobTracker) speculate() {
 
 func (jt *JobTracker) finishJob(jr *jobRun) {
 	// Map outputs are intermediate data; drop them from tracker disks.
+	// The inner loop is the JobTracker's only range over a map: it just
+	// deletes matching keys, which commutes, so iteration order cannot
+	// reach scheduling, metrics or traces (the maporder lint rule guards
+	// against anything order-sensitive creeping in).
 	for _, tt := range jt.mc.trackers {
 		for k := range tt.mapOutputs {
 			if k.job == jr.id {

@@ -238,7 +238,6 @@ func NewMRCluster(dfs *hdfs.MiniDFS, cfg Config, seed int64) *MRCluster {
 			mapOutputs: map[outputKey]*mapreduce.MapOutput{},
 		}
 		mc.trackers = append(mc.trackers, tt)
-		jt.trackers[n.ID] = tt
 		mc.StartTaskTracker(n.ID)
 	}
 	jt.start()

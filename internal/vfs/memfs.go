@@ -162,18 +162,23 @@ func (m *MemFS) Remove(path string, recursive bool) error {
 		return &PathError{Op: "remove", Path: p, Err: ErrInvalid}
 	}
 	prefix := p + "/"
+	// Sorted so the removal sequence is reproducible, not map-ordered —
+	// deletes commute today, but anything metering or tracing them must
+	// not inherit map iteration order.
 	var children []string
 	for fp := range m.files {
 		if strings.HasPrefix(fp, prefix) {
 			children = append(children, fp)
 		}
 	}
+	sort.Strings(children)
 	var childDirs []string
 	for dp := range m.dirs {
 		if strings.HasPrefix(dp, prefix) {
 			childDirs = append(childDirs, dp)
 		}
 	}
+	sort.Strings(childDirs)
 	if !recursive && (len(children) > 0 || len(childDirs) > 0) {
 		return &PathError{Op: "remove", Path: p, Err: ErrNotEmpty}
 	}
@@ -224,6 +229,7 @@ func (m *MemFS) Rename(oldPath, newPath string) error {
 				movedDirs = append(movedDirs, dp)
 			}
 		}
+		sort.Strings(movedDirs)
 		for _, dp := range movedDirs {
 			delete(m.dirs, dp)
 			m.dirs[np+"/"+dp[len(prefix):]] = true
