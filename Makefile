@@ -34,7 +34,7 @@ check:
 
 # Just the concurrency-sensitive surface, race-checked.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/... ./internal/iofmt/...
+	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/... ./internal/iofmt/... ./internal/history/...
 
 chaos: race
 
@@ -42,7 +42,7 @@ chaos: race
 # artifact the tier-2 regression test (TestBenchRegression) diffs against.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
-	$(GO) run ./cmd/benchreport -out BENCH_pr3.json
+	$(GO) run ./cmd/benchreport -out BENCH_pr5.json
 
 # One-iteration benchmark smoke pass — proves every experiment still runs
 # without paying for steady-state timing.
@@ -57,5 +57,6 @@ ci: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/minilint ./internal/... ./cmd/...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/iofmt/...
+	$(GO) test -race ./internal/obs/... ./internal/faultinject/... ./internal/iofmt/... ./internal/history/...
+	$(GO) test -run 'TestGoldenJobHistory|TestGoldenTrace' ./internal/jobs/
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

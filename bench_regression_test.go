@@ -65,6 +65,13 @@ var shapeChecks = map[string]map[string][2]float64{
 		"seq-read-reduction-x":  {1, math.Inf(1)},   // fewer simulated disk bytes
 		"shuffle-compression-x": {1.5, math.Inf(1)}, // wire bytes shrink measurably
 	},
+	"E11": {
+		"audit-events":       {1, math.Inf(1)}, // the run leaves an audit trail
+		"job-events":         {4, math.Inf(1)}, // at least submit/init/.../finish
+		"history-bytes":      {1, math.Inf(1)}, // history reached HDFS
+		"critical-path-len":  {1, math.Inf(1)}, // something bounds completion
+		"path-work-fraction": {0, 1},           // a fraction of the makespan
+	},
 }
 
 func TestBenchRegression(t *testing.T) {

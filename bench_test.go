@@ -114,3 +114,7 @@ func BenchmarkE9Scalability(b *testing.B) { runExperiment(b, "E9", headlines("E9
 // gzip and block-compressed SequenceFile, plus the shuffle-compression
 // ablation.
 func BenchmarkE10FileFormats(b *testing.B) { runExperiment(b, "E10", headlines("E10")) }
+
+// BenchmarkE11JobHistory measures the history subsystem: event volumes,
+// persisted bytes, and the critical path rebuilt from the event log.
+func BenchmarkE11JobHistory(b *testing.B) { runExperiment(b, "E11", headlines("E11")) }

@@ -97,6 +97,47 @@ func TestCLIMyhadoopFlow(t *testing.T) {
 	}
 }
 
+func TestCLIMrhistory(t *testing.T) {
+	// The committed golden history file doubles as the CLI fixture: lay it
+	// out the way an `hadoop fs -get /history` export would look.
+	const jobID = "job_wordcount_combiner_0001"
+	events, err := os.ReadFile(filepath.Join("internal", "jobs", "testdata", "golden_history_events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, jobID), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, jobID, "events.jsonl"), events, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCmd(t, "", "mrhistory", "-dir", dir, "-list")
+	if strings.TrimSpace(out) != jobID {
+		t.Fatalf("-list output:\n%s", out)
+	}
+	out = runCmd(t, "", "mrhistory", "-dir", dir, "-job", jobID)
+	for _, want := range []string{"Job " + jobID + " (wordcount-combiner) SUCCEEDED", "attempt_task_", "Counters:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, "", "mrhistory", "-dir", dir, "-job", jobID, "-analyze")
+	for _, want := range []string{"Critical path", "Slowest", "Shuffle:", "Per-node successful attempts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-analyze missing %q:\n%s", want, out)
+		}
+	}
+	want, err := os.ReadFile(filepath.Join("internal", "jobs", "testdata", "golden_history_report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("-analyze drifted from the pinned report:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
 func TestCLIMyhadoopShowScript(t *testing.T) {
 	out := runCmd(t, "", "myhadoop", "-show-script")
 	if !strings.Contains(out, "#PBS -l select=") {

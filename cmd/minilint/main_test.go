@@ -50,6 +50,7 @@ func TestSelfCheckDirty(t *testing.T) {
 		"maporder.go:43 maporder",
 		"maporder.go:49 maporder",
 		"maporder.go:55 maporder",
+		"maporder.go:71 maporder",
 		"wallclock.go:10 wallclock",
 		"wallclock.go:11 wallclock",
 		"wallclock.go:12 wallclock",

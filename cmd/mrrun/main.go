@@ -16,9 +16,12 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hdfs"
+	"repro/internal/history"
 	"repro/internal/jobs"
+	"repro/internal/mrcluster"
 	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/vfs"
@@ -35,6 +38,10 @@ func main() {
 	blockSize := flag.Int64("block", 1<<20, "cluster mode: HDFS block size")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	metrics := flag.String("metrics", "", "write the obs metrics/spans snapshot to this JSON file")
+	histDir := flag.String("history", "", "cluster mode: export the /history job-history tree to this host directory (read it with mrhistory)")
+	slowNode := flag.Int("slow-node", -1, "cluster mode: make this node a straggler (task durations multiplied by -slow-factor)")
+	slowFactor := flag.Float64("slow-factor", 8, "cluster mode: straggler slowdown factor for -slow-node")
+	speculative := flag.Bool("speculative", false, "cluster mode: enable speculative execution of straggling tasks")
 	flag.Parse()
 
 	if *list {
@@ -81,10 +88,15 @@ func main() {
 		fmt.Printf("Output written to %s\n", outAbs)
 		writeMetrics(reg, *metrics)
 	case "cluster":
+		mrCfg := mrcluster.Config{Speculative: *speculative}
+		if *slowNode >= 0 {
+			mrCfg.NodeSlowdown = map[cluster.NodeID]float64{cluster.NodeID(*slowNode): *slowFactor}
+		}
 		c, err := core.New(core.Options{
 			Nodes: *nodes,
 			Seed:  *seed,
 			HDFS:  hdfs.Config{BlockSize: *blockSize},
+			MR:    mrCfg,
 		})
 		if err != nil {
 			fatal(err)
@@ -114,6 +126,13 @@ func main() {
 			fatal(fmt.Errorf("exporting output: %w", err))
 		}
 		fmt.Printf("Output copied to local filesystem at %s\n", outAbs)
+		if *histDir != "" {
+			histAbs := mustAbs(*histDir)
+			if _, err := vfs.CopyTree(c.FS(), history.Root, host, histAbs); err != nil {
+				fatal(fmt.Errorf("exporting job history: %w", err))
+			}
+			fmt.Printf("Job history copied to %s (inspect with: go run ./cmd/mrhistory -dir %s -list)\n", histAbs, *histDir)
+		}
 		writeMetrics(c.Obs, *metrics)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))

@@ -105,6 +105,7 @@ func Registry() []Spec {
 		{"E8", "HDFS shell session: replication, failure, recovery", E8FsckRecovery},
 		{"E9", "Scalability and speculative-execution ablation", E9Scalability},
 		{"E10", "File formats and compression: splittable vs whole-stream", E10Formats},
+		{"E11", "Job history & audit: reconstructing a run from its event logs", E11History},
 	}
 }
 

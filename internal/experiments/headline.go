@@ -13,7 +13,7 @@ import (
 
 // HeadlineIDs lists the experiments that contribute headline metrics, in
 // presentation order.
-var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 
 // HeadlineMetrics extracts id's headline metrics from a finished run.
 // Metric names ending in "-x" are ratios where >1 means the paper's
@@ -88,6 +88,15 @@ func HeadlineMetrics(id string, r *Result) map[string]float64 {
 			"gz-vs-seq-makespan-x":  float64(gz.Makespan) / float64(seq.Makespan),
 			"seq-read-reduction-x":  float64(text.BytesRead) / float64(seq.BytesRead),
 			"shuffle-compression-x": float64(res.ShuffleRawBytes) / float64(res.ShuffleWireBytes),
+		}
+	case "E11":
+		res := r.Raw.(*E11Result)
+		return map[string]float64{
+			"audit-events":       float64(res.AuditEvents),
+			"job-events":         float64(res.JobEvents),
+			"history-bytes":      float64(res.BytesPersisted),
+			"critical-path-len":  float64(res.CriticalPathLen),
+			"path-work-fraction": res.PathWorkFraction,
 		}
 	}
 	return nil

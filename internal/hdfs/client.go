@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -53,6 +54,10 @@ type Client struct {
 	obs *obs.Registry
 	m   *clientMetrics
 
+	// User is the principal recorded in the NameNode audit log for this
+	// client's operations; empty defaults to DefaultUser.
+	User string
+
 	// Meter records modelled I/O cost and locality for this client.
 	Meter Meter
 	// AutoAdvance, when set, advances the sim clock by each operation's
@@ -63,6 +68,26 @@ type Client struct {
 }
 
 var _ vfs.FileSystem = (*Client)(nil)
+
+// DefaultUser is the audit principal of clients that set no User — the
+// single student account every lab runs as.
+const DefaultUser = "student"
+
+// auditEv appends a client-facing entry to the NameNode audit log:
+// principal, operation, path(s), and whether the NameNode said yes.
+func (c *Client) auditEv(typ string, attrs map[string]string, err error) {
+	user := c.User
+	if user == "" {
+		user = DefaultUser
+	}
+	attrs["user"] = user
+	if err != nil {
+		attrs["result"] = "error"
+	} else {
+		attrs["result"] = "ok"
+	}
+	c.nn.audit.Append(time.Duration(c.eng.Now()), typ, attrs)
+}
 
 // Location returns the node the client runs on (GatewayNode if off-cluster).
 func (c *Client) Location() cluster.NodeID { return c.from }
@@ -105,6 +130,7 @@ func (c *Client) Create(path string) (io.WriteCloser, error) {
 // (0 = cluster default).
 func (c *Client) CreateRepl(path string, repl int) (io.WriteCloser, error) {
 	f, err := c.nn.createFileEntry(path, repl)
+	c.auditEv(history.EvAuditCreate, map[string]string{"src": vfs.Clean(path)}, err)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +167,7 @@ func (w *hdfsWriter) Close() error {
 		if end > int64(len(data)) {
 			end = int64(len(data))
 		}
-		if err := w.c.writeBlock(w.f, data[off:end]); err != nil {
+		if err := w.c.writeBlock(w.f, w.path, data[off:end]); err != nil {
 			// Clean up the partial file so retries see a consistent tree.
 			_ = w.c.nn.Delete(w.path, false)
 			return &vfs.PathError{Op: "write", Path: w.path, Err: err}
@@ -154,8 +180,8 @@ func (w *hdfsWriter) Close() error {
 // writeBlock runs one replicated pipeline write: client → DN1 → DN2 → DN3.
 // The modelled cost is the pipeline bottleneck (slowest hop or disk),
 // because hops stream concurrently.
-func (c *Client) writeBlock(f *inode, data []byte) error {
-	id, targets, err := c.nn.allocateBlock(f, c.from)
+func (c *Client) writeBlock(f *inode, path string, data []byte) error {
+	id, targets, err := c.nn.allocateBlock(f, path, c.from)
 	if err != nil {
 		return err
 	}
@@ -277,8 +303,10 @@ func (c *Client) readBlock(id BlockID) ([]byte, error) {
 func (c *Client) Open(path string) (io.ReadCloser, error) {
 	f := c.nn.ns.lookup(path)
 	if f == nil {
+		c.auditEv(history.EvAuditOpen, map[string]string{"src": vfs.Clean(path)}, vfs.ErrNotExist)
 		return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrNotExist}
 	}
+	c.auditEv(history.EvAuditOpen, map[string]string{"src": vfs.Clean(path)}, nil)
 	if f.dir {
 		return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrIsDir}
 	}
@@ -298,8 +326,10 @@ func (c *Client) Open(path string) (io.ReadCloser, error) {
 func (c *Client) ReadRange(path string, off, length int64) ([]byte, error) {
 	f := c.nn.ns.lookup(path)
 	if f == nil {
+		c.auditEv(history.EvAuditOpen, map[string]string{"src": vfs.Clean(path)}, vfs.ErrNotExist)
 		return nil, &vfs.PathError{Op: "read", Path: path, Err: vfs.ErrNotExist}
 	}
+	c.auditEv(history.EvAuditOpen, map[string]string{"src": vfs.Clean(path)}, nil)
 	if f.dir {
 		return nil, &vfs.PathError{Op: "read", Path: path, Err: vfs.ErrIsDir}
 	}
@@ -346,13 +376,31 @@ func (c *Client) Stat(path string) (vfs.FileInfo, error) { return c.nn.Stat(path
 func (c *Client) List(path string) ([]vfs.FileInfo, error) { return c.nn.List(path) }
 
 // Mkdir implements vfs.FileSystem.
-func (c *Client) Mkdir(path string) error { return c.nn.MkdirAll(path) }
+func (c *Client) Mkdir(path string) error {
+	err := c.nn.MkdirAll(path)
+	c.auditEv(history.EvAuditMkdir, map[string]string{"src": vfs.Clean(path)}, err)
+	return err
+}
 
 // Remove implements vfs.FileSystem.
-func (c *Client) Remove(path string, recursive bool) error { return c.nn.Delete(path, recursive) }
+func (c *Client) Remove(path string, recursive bool) error {
+	err := c.nn.Delete(path, recursive)
+	c.auditEv(history.EvAuditDelete, map[string]string{
+		"src":       vfs.Clean(path),
+		"recursive": fmt.Sprint(recursive),
+	}, err)
+	return err
+}
 
 // Rename implements vfs.FileSystem.
-func (c *Client) Rename(oldPath, newPath string) error { return c.nn.Rename(oldPath, newPath) }
+func (c *Client) Rename(oldPath, newPath string) error {
+	err := c.nn.Rename(oldPath, newPath)
+	c.auditEv(history.EvAuditRename, map[string]string{
+		"src": vfs.Clean(oldPath),
+		"dst": vfs.Clean(newPath),
+	}, err)
+	return err
+}
 
 // BlockLocations exposes block layout for split computation.
 func (c *Client) BlockLocations(path string) ([]BlockLocation, error) {
@@ -361,10 +409,20 @@ func (c *Client) BlockLocations(path string) ([]BlockLocation, error) {
 
 // SetReplication changes a file's replication factor (hadoop fs -setrep).
 func (c *Client) SetReplication(path string, repl int) error {
-	return c.nn.SetReplication(path, repl)
+	err := c.nn.SetReplication(path, repl)
+	c.auditEv(history.EvAuditSetrep, map[string]string{
+		"src":  vfs.Clean(path),
+		"repl": fmt.Sprint(repl),
+	}, err)
+	return err
 }
 
 // Fsck audits the subtree at path (hadoop fsck).
 func (c *Client) Fsck(path string) (*FsckReport, error) {
 	return c.nn.Fsck(path)
+}
+
+// FsckWith audits the subtree at path with -blocks/-locations detail.
+func (c *Client) FsckWith(path string, opts FsckOpts) (*FsckReport, error) {
+	return c.nn.FsckWith(path, opts)
 }

@@ -4,8 +4,26 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/vfs"
 )
+
+// FsckOpts selects optional detail sections, mirroring the flags of
+// `hadoop fsck`: -blocks lists each file's block IDs, -locations adds
+// the DataNode hosts of every live replica (and implies -blocks).
+type FsckOpts struct {
+	Blocks    bool
+	Locations bool
+}
+
+// BlockDetail is one block row of the -blocks/-locations detail output.
+type BlockDetail struct {
+	Block  BlockID
+	Length int64
+	// Hosts are the live replica holders' hostnames, sorted; filled only
+	// with FsckOpts.Locations.
+	Hosts []string
+}
 
 // FileFsck is the per-file section of an fsck report.
 type FileFsck struct {
@@ -16,6 +34,8 @@ type FileFsck struct {
 	UnderReplicated int
 	MissingBlocks   int
 	CorruptReplicas int
+	// BlockDetails is filled only when fsck ran with -blocks/-locations.
+	BlockDetails []BlockDetail
 }
 
 // FsckReport mirrors the output of `hadoop fsck /` that the paper's second
@@ -34,6 +54,8 @@ type FsckReport struct {
 	DefaultReplication   int
 	AvgReplicationFactor float64
 	Files                []FileFsck
+	// Opts records which detail sections the report carries.
+	Opts FsckOpts
 }
 
 // Healthy reports whether the filesystem has no missing blocks (the
@@ -53,6 +75,16 @@ func (r *FsckReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "FSCK started for path %s\n", r.Path)
 	for _, f := range r.Files {
+		if r.Opts.Blocks || r.Opts.Locations {
+			fmt.Fprintf(&b, "%s %d bytes, %d block(s):\n", f.Path, f.Size, f.Blocks)
+			for i, bd := range f.BlockDetails {
+				fmt.Fprintf(&b, "  %d. %v len=%d", i, bd.Block, bd.Length)
+				if r.Opts.Locations {
+					fmt.Fprintf(&b, " [%s]", strings.Join(bd.Hosts, ", "))
+				}
+				b.WriteByte('\n')
+			}
+		}
 		if f.UnderReplicated > 0 || f.MissingBlocks > 0 || f.CorruptReplicas > 0 {
 			fmt.Fprintf(&b, "%s %d bytes, %d block(s): ", f.Path, f.Size, f.Blocks)
 			switch {
@@ -82,6 +114,15 @@ func (r *FsckReport) String() string {
 
 // Fsck audits the subtree at path, counting replica health block by block.
 func (nn *NameNode) Fsck(path string) (*FsckReport, error) {
+	return nn.FsckWith(path, FsckOpts{})
+}
+
+// FsckWith audits the subtree at path with optional -blocks/-locations
+// detail sections.
+func (nn *NameNode) FsckWith(path string, opts FsckOpts) (*FsckReport, error) {
+	if opts.Locations {
+		opts.Blocks = true
+	}
 	start := nn.ns.lookup(path)
 	if start == nil {
 		return nil, &vfs.PathError{Op: "fsck", Path: path, Err: vfs.ErrNotExist}
@@ -90,6 +131,7 @@ func (nn *NameNode) Fsck(path string) (*FsckReport, error) {
 		Path:               vfs.Clean(path),
 		DefaultReplication: nn.cfg.Replication,
 		LiveDataNodes:      len(nn.LiveDataNodes()),
+		Opts:               opts,
 	}
 	var replicaSum int64
 	nn.ns.walkFiles(start, rep.Path, func(p string, f *inode) {
@@ -98,6 +140,9 @@ func (nn *NameNode) Fsck(path string) (*FsckReport, error) {
 			bm, ok := nn.blocks[bid]
 			if !ok {
 				ff.MissingBlocks++
+				if opts.Blocks {
+					ff.BlockDetails = append(ff.BlockDetails, BlockDetail{Block: bid})
+				}
 				continue
 			}
 			live := nn.liveReplicas(bm)
@@ -111,6 +156,22 @@ func (nn *NameNode) Fsck(path string) (*FsckReport, error) {
 				rep.OverReplicated++
 			}
 			ff.CorruptReplicas += len(bm.corrupt)
+			if opts.Blocks {
+				bd := BlockDetail{Block: bid, Length: bm.len}
+				if opts.Locations {
+					var holders []cluster.NodeID
+					for id := range bm.replicas {
+						if info := nn.dns[id]; info != nil && info.alive && !bm.corrupt[id] {
+							holders = append(holders, id)
+						}
+					}
+					sortNodeIDs(holders)
+					for _, id := range holders {
+						bd.Hosts = append(bd.Hosts, nn.hostname(id))
+					}
+				}
+				ff.BlockDetails = append(ff.BlockDetails, bd)
+			}
 		}
 		rep.TotalFiles++
 		rep.TotalBlocks += len(f.blocks)

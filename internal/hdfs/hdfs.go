@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -114,3 +115,7 @@ func (d *MiniDFS) Client(from cluster.NodeID) *Client {
 
 // Fsck audits the whole filesystem.
 func (d *MiniDFS) Fsck() (*FsckReport, error) { return d.NN.Fsck("/") }
+
+// AuditLog exposes the NameNode audit log (internal/history): every
+// namespace operation and block decision since startup, in sim order.
+func (d *MiniDFS) AuditLog() *history.Log { return d.NN.audit }

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -106,6 +108,13 @@ type NameNode struct {
 	obs *obs.Registry
 	m   nnMetrics
 
+	// audit is the NameNode audit log (internal/history): every namespace
+	// operation and block decision, with principal, path and result.
+	// Client-facing entries are appended by Client.auditEv; control-plane
+	// decisions (re-replication, corruption, liveness) are appended here
+	// as principal "hdfs".
+	audit *history.Log
+
 	// safeModeEnteredAt anchors the hdfs.safemode span emitted on exit.
 	safeModeEnteredAt sim.Time
 }
@@ -145,6 +154,7 @@ func newNameNode(eng *sim.Engine, topo *cluster.Topology, cost cluster.CostModel
 		decommissioning: map[cluster.NodeID]bool{},
 		obs:             reg,
 		m:               newNNMetrics(reg),
+		audit:           history.NewLog(reg.Counter(history.MetricAuditEvents)),
 	}
 	nn.m.safeMode.Set(1)
 	return nn
@@ -243,17 +253,42 @@ func (nn *NameNode) blockReport(id cluster.NodeID, held []BlockID) {
 	nn.maybeLeaveSafeMode()
 }
 
+// auditEv appends a control-plane audit event as principal "hdfs" —
+// a decision the NameNode took on its own, not on behalf of a client.
+func (nn *NameNode) auditEv(typ string, attrs map[string]string) {
+	attrs["user"] = history.PrincipalNameNode
+	nn.audit.Append(time.Duration(nn.eng.Now()), typ, attrs)
+}
+
+// hostname resolves a node ID for audit attrs (IDs are stable too, but
+// hostnames are what students grep the log for).
+func (nn *NameNode) hostname(id cluster.NodeID) string {
+	if n := nn.topo.Node(id); n != nil {
+		return n.Hostname
+	}
+	return fmt.Sprint(id)
+}
+
 func (nn *NameNode) checkLiveness() {
 	now := nn.eng.Now()
-	for _, info := range nn.dns {
+	// Collect expired nodes first and process them in ID order: two nodes
+	// expiring on the same tick must produce the same audit-log order on
+	// every replay.
+	var dead []cluster.NodeID
+	for id, info := range nn.dns {
 		if info.alive && now-info.lastHeartbeat > nn.cfg.HeartbeatExpiry {
-			info.alive = false
-			nn.m.datanodesDeclaredDead.Inc()
-			// Replicas on a dead node no longer count; the replication
-			// monitor will notice the deficit on its next pass.
-			for _, bm := range nn.blocks {
-				delete(bm.replicas, info.id)
-			}
+			dead = append(dead, id)
+		}
+	}
+	sortNodeIDs(dead)
+	for _, id := range dead {
+		nn.dns[id].alive = false
+		nn.m.datanodesDeclaredDead.Inc()
+		nn.auditEv(history.EvAuditDatanodeDead, map[string]string{"node": nn.hostname(id)})
+		// Replicas on a dead node no longer count; the replication
+		// monitor will notice the deficit on its next pass.
+		for _, bm := range nn.blocks {
+			delete(bm.replicas, id)
 		}
 	}
 }
@@ -287,6 +322,7 @@ func (nn *NameNode) exitSafeMode() {
 	nn.m.safeModeExits.Inc()
 	nn.m.safeModeExitedAt.Set(int64(now))
 	nn.obs.Span(SpanSafeMode, time.Duration(nn.safeModeEnteredAt), time.Duration(now), nil)
+	nn.auditEv(history.EvAuditSafemodeExit, map[string]string{"blocks": fmt.Sprint(len(nn.blocks))})
 }
 
 // liveReplicas counts confirmed replicas on live, non-draining nodes,
@@ -426,8 +462,9 @@ func (nn *NameNode) createFileEntry(path string, repl int) (*inode, error) {
 	return nn.ns.createFile(path, repl)
 }
 
-// allocateBlock assigns a new block ID and its replica targets.
-func (nn *NameNode) allocateBlock(f *inode, writer cluster.NodeID) (BlockID, []cluster.NodeID, error) {
+// allocateBlock assigns a new block ID and its replica targets. path is
+// the file being written, carried along for the audit log.
+func (nn *NameNode) allocateBlock(f *inode, path string, writer cluster.NodeID) (BlockID, []cluster.NodeID, error) {
 	targets := nn.chooseTargets(writer, f.repl, nil)
 	if len(targets) == 0 {
 		return 0, nil, fmt.Errorf("hdfs: no live datanodes to place block (need %d)", f.repl)
@@ -441,6 +478,15 @@ func (nn *NameNode) allocateBlock(f *inode, writer cluster.NodeID) (BlockID, []c
 		replicas: map[cluster.NodeID]bool{},
 		corrupt:  map[cluster.NodeID]bool{},
 	}
+	hosts := make([]string, len(targets))
+	for i, t := range targets {
+		hosts[i] = nn.hostname(t)
+	}
+	nn.auditEv(history.EvAuditBlockAllocate, map[string]string{
+		"src":     path,
+		"block":   fmt.Sprint(id),
+		"targets": strings.Join(hosts, ","),
+	})
 	return id, targets, nil
 }
 
@@ -607,6 +653,10 @@ func (nn *NameNode) markCorrupt(id BlockID, node cluster.NodeID) {
 	if !bm.corrupt[node] {
 		bm.corrupt[node] = true
 		nn.m.corruptionsDetected.Inc()
+		nn.auditEv(history.EvAuditCorrupt, map[string]string{
+			"block": fmt.Sprint(id),
+			"node":  nn.hostname(node),
+		})
 	}
 	delete(bm.replicas, node)
 	if dn := nn.datanodes[node]; dn != nil {
@@ -691,6 +741,11 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 	}
 	nn.pendingRepl[bm.id] = true
 	nn.m.replicationsScheduled.Inc()
+	nn.auditEv(history.EvAuditRereplicate, map[string]string{
+		"block": fmt.Sprint(bm.id),
+		"src":   nn.hostname(src),
+		"dst":   nn.hostname(dst),
+	})
 	xfer := nn.cost.Transfer(nn.topo.Distance(src, dst), int64(len(data)))
 	blockID := bm.id
 	start := nn.eng.Now()
@@ -740,6 +795,10 @@ func (nn *NameNode) dropExcessReplica(bm *blockMeta) {
 	}
 	delete(bm.replicas, victim)
 	nn.m.excessReplicasDropped.Inc()
+	nn.auditEv(history.EvAuditReplicaDrop, map[string]string{
+		"block": fmt.Sprint(bm.id),
+		"node":  nn.hostname(victim),
+	})
 	if dn := nn.datanodes[victim]; dn != nil {
 		dn.deleteBlock(bm.id)
 	}

@@ -31,6 +31,9 @@ var maporderWriteMethods = map[string]bool{
 	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 	"Printf": true, "Print": true, "Println": true, "Set": true,
 	"Schedule": true, "After": true, "Every": true,
+	// Event-log appends (history.Log and friends): emission order is the
+	// record, so it must never follow map order.
+	"Append": true,
 }
 
 // maporderFmtFuncs are fmt functions that emit directly to a stream.

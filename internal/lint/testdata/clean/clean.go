@@ -76,3 +76,15 @@ func failable(ok bool) error {
 	}
 	return nil
 }
+
+type eventLog struct{ lines []string }
+
+func (l *eventLog) Append(line string) { l.lines = append(l.lines, line) }
+
+// audit emits one event per map entry in key order: the canonical shape
+// for event-log writes driven by a map.
+func audit(l *eventLog, m map[string]int) {
+	for _, k := range sortedKeys(m) {
+		l.Append(k)
+	}
+}

@@ -62,3 +62,14 @@ func sliceRangeAllowed(keys []string, w io.Writer) {
 		fmt.Fprintln(w, k)
 	}
 }
+
+type eventLog struct{ lines []string }
+
+func (l *eventLog) Append(line string) { l.lines = append(l.lines, line) }
+
+func auditInMapOrder(l *eventLog, m map[string]int) {
+	for k := range m { // want: maporder
+		l.Append(k)
+	}
+}
+

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/history"
 	"repro/internal/iofmt"
 	"repro/internal/mapreduce"
 	"repro/internal/sim"
@@ -90,6 +92,10 @@ type jobRun struct {
 
 	mapDurations    []time.Duration
 	reduceDurations []time.Duration
+
+	// hist is the job's history file in the making: every lifecycle event
+	// from submit to finish, persisted into HDFS when the job completes.
+	hist *history.Log
 
 	handle *JobHandle
 }
@@ -241,9 +247,80 @@ func (jt *JobTracker) killAttempt(a *attempt, reason string) {
 	a.t.jr.counters.Inc(mapreduce.CtrKilledTaskAttempts, 1)
 	jt.m.attemptsKilled.Inc()
 	jt.attemptSpan(a, "killed:"+reason)
+	jt.histAttemptEnd(a, history.EvAttemptKill, map[string]string{"reason": reason})
 	if a.t.state == taskRunning && len(a.t.attempts) == 0 {
 		a.t.state = taskPending
 	}
+}
+
+// --- job history (internal/history) ---
+
+// histEv appends one event to a job's history log at the current sim time.
+func (jt *JobTracker) histEv(jr *jobRun, typ string, attrs map[string]string) {
+	jr.hist.Append(time.Duration(jt.mc.Engine.Now()), typ, attrs)
+}
+
+// histAttemptStart records an attempt launch. shuffle is the modelled
+// shuffle time (reduces only; pass <0 for maps).
+func (jt *JobTracker) histAttemptStart(a *attempt, shuffle time.Duration) {
+	attrs := map[string]string{
+		"attempt": a.id(),
+		"job":     a.t.jr.id,
+		"task":    a.t.id(),
+		"node":    a.tt.node.Hostname,
+	}
+	if a.t.isMap {
+		attrs["kind"] = "map"
+		attrs["locality"] = fmt.Sprint(a.locality)
+	} else {
+		attrs["kind"] = "reduce"
+		if shuffle >= 0 {
+			attrs["shuffle_ns"] = fmt.Sprint(int64(shuffle))
+		}
+	}
+	if a.speculative {
+		attrs["speculative"] = "true"
+	}
+	jt.histEv(a.t.jr, history.EvAttemptStart, attrs)
+}
+
+// histAttemptEnd records an attempt's terminal event (finish/fail/kill).
+func (jt *JobTracker) histAttemptEnd(a *attempt, typ string, extra map[string]string) {
+	attrs := map[string]string{"attempt": a.id(), "job": a.t.jr.id}
+	for k, v := range extra {
+		attrs[k] = v
+	}
+	jt.histEv(a.t.jr, typ, attrs)
+}
+
+// histFinish records the job's terminal event with its final counter
+// snapshot flattened into ctr.<NAME> attrs — the numbers `mrhistory`
+// reprints without the cluster object.
+func (jt *JobTracker) histFinish(jr *jobRun, outcome string) {
+	attrs := map[string]string{"job": jr.id, "outcome": outcome}
+	for name, v := range jr.counters.Snapshot() {
+		attrs["ctr."+name] = fmt.Sprint(v)
+	}
+	jr.hist.Append(time.Duration(jr.finishedAt), history.EvJobFinish, attrs)
+}
+
+// persistHistory writes the finished job's history file into HDFS under
+// /history/<jobid>/, as real Hadoop's JobHistory does. Best effort: a
+// cluster too degraded to store history still reports the job's outcome.
+func (jt *JobTracker) persistHistory(jr *jobRun) {
+	data, err := jr.hist.Bytes()
+	if err != nil {
+		return
+	}
+	client := jt.mc.DFS.Client(GatewayForSubmit)
+	if err := client.Mkdir(history.Dir(jr.id)); err != nil {
+		return
+	}
+	if err := vfs.WriteFile(client, history.EventsPath(jr.id), data); err != nil {
+		return
+	}
+	jt.m.historyFilesPersisted.Inc()
+	jt.m.historyBytesPersisted.Add(int64(len(data)))
 }
 
 // attemptSpan records a task attempt's lifetime span with its outcome.
@@ -310,6 +387,7 @@ func (jt *JobTracker) submit(job *mapreduce.Job) (*JobHandle, error) {
 		job:         job,
 		counters:    mapreduce.NewCounters(),
 		submittedAt: jt.mc.Engine.Now(),
+		hist:        history.NewLog(jt.m.historyEvents),
 	}
 	for i, s := range splits {
 		jr.maps = append(jr.maps, &task{jr: jr, isMap: true, idx: i, split: s})
@@ -320,6 +398,14 @@ func (jt *JobTracker) submit(job *mapreduce.Job) (*JobHandle, error) {
 	jr.handle = &JobHandle{jr: jr}
 	jt.jobs = append(jt.jobs, jr)
 	jt.m.jobsSubmitted.Inc()
+	jt.histEv(jr, history.EvJobSubmit, map[string]string{
+		"job": jr.id, "name": job.Name, "user": hdfs.DefaultUser,
+	})
+	jt.histEv(jr, history.EvJobInit, map[string]string{
+		"job":     jr.id,
+		"maps":    fmt.Sprint(len(jr.maps)),
+		"reduces": fmt.Sprint(len(jr.reduces)),
+	})
 	jt.schedule()
 	return jr.handle, nil
 }
@@ -562,6 +648,7 @@ func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool
 		jr.counters.Inc(mapreduce.CtrSpeculativeLaunch, 1)
 		jt.m.speculativeLaunch.Inc()
 	}
+	jt.histAttemptStart(a, -1)
 
 	// Execute the user code now (real data, exact results); the modelled
 	// duration decides when the completion event lands.
@@ -668,6 +755,7 @@ func (jt *JobTracker) completeMapAttempt(a *attempt, out *mapreduce.MapOutput, c
 	jr.counters.Inc(mapreduce.CtrHDFSBytesRead, meter.BytesRead())
 	jt.m.mapAttemptTime.Observe(dur)
 	jt.attemptSpan(a, "succeeded")
+	jt.histAttemptEnd(a, history.EvAttemptFinish, nil)
 	if a.speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
 	}
@@ -700,6 +788,7 @@ func (jt *JobTracker) failMapAttempt(a *attempt, cause error, crashDaemons bool)
 	jr.counters.Inc(mapreduce.CtrTaskRetries, 1)
 	jt.m.mapsFailed.Inc()
 	jt.attemptSpan(a, "failed")
+	jt.histAttemptEnd(a, history.EvAttemptFail, map[string]string{"error": cause.Error()})
 	t.failures++
 	if len(t.attempts) == 0 && t.state != taskDone {
 		t.state = taskPending
@@ -812,6 +901,7 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 	}
 	jt.m.shuffleBytes.Add(shuffleBytes)
 	jt.m.shuffleTime.Observe(shuffleTime)
+	jt.histAttemptStart(a, shuffleTime)
 
 	client := jt.mc.DFS.Client(tt.id)
 	ctx := mapreduce.NewTaskContext(jr.id, a.id(), client, jr.job)
@@ -942,6 +1032,7 @@ func (jt *JobTracker) completeReduceAttempt(a *attempt, ctx *mapreduce.TaskConte
 	jr.counters.Inc(mapreduce.CtrHDFSBytesWritten, bytesWritten)
 	jt.m.reduceAttemptTime.Observe(dur)
 	jt.attemptSpan(a, "succeeded")
+	jt.histAttemptEnd(a, history.EvAttemptFinish, nil)
 	if a.speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
 	}
@@ -968,6 +1059,7 @@ func (jt *JobTracker) failReduceAttempt(a *attempt, cause error, crashDaemons bo
 	jr.counters.Inc(mapreduce.CtrTaskRetries, 1)
 	jt.m.reducesFailed.Inc()
 	jt.attemptSpan(a, "failed")
+	jt.histAttemptEnd(a, history.EvAttemptFail, map[string]string{"error": cause.Error()})
 	t.failures++
 	if len(t.attempts) == 0 && t.state != taskDone {
 		t.state = taskPending
@@ -1062,6 +1154,8 @@ func (jt *JobTracker) finishJob(jr *jobRun) {
 	jr.finishedAt = jt.mc.Engine.Now()
 	jt.m.jobsSucceeded.Inc()
 	jt.jobSpan(jr, "succeeded")
+	jt.histFinish(jr, "succeeded")
+	jt.persistHistory(jr)
 	jt.schedule()
 }
 
@@ -1080,10 +1174,14 @@ func (jt *JobTracker) failJob(jr *jobRun, cause error) {
 	jr.finishedAt = jt.mc.Engine.Now()
 	jt.m.jobsFailed.Inc()
 	jt.jobSpan(jr, "failed")
+	// Kill leftover attempts before sealing the history file, so their
+	// attempt.kill events precede the job.finish record.
 	for _, t := range append(append([]*task(nil), jr.maps...), jr.reduces...) {
 		for _, a := range append([]*attempt(nil), t.attempts...) {
 			jt.killAttempt(a, "job failed")
 		}
 	}
+	jt.histFinish(jr, "failed")
+	jt.persistHistory(jr)
 	jt.schedule()
 }

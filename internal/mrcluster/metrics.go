@@ -1,6 +1,9 @@
 package mrcluster
 
-import "repro/internal/obs"
+import (
+	"repro/internal/history"
+	"repro/internal/obs"
+)
 
 // Metric names emitted by the MapReduce runtime. The full taxonomy is
 // documented in docs/OBSERVABILITY.md.
@@ -54,6 +57,12 @@ type jtMetrics struct {
 	mapAttemptTime    *obs.Histogram
 	reduceAttemptTime *obs.Histogram
 	shuffleTime       *obs.Histogram
+
+	// Job-history emission/persistence counters (names owned by
+	// internal/history so the webui and experiments read the same keys).
+	historyEvents         *obs.Counter
+	historyFilesPersisted *obs.Counter
+	historyBytesPersisted *obs.Counter
 }
 
 func newJTMetrics(r *obs.Registry) jtMetrics {
@@ -78,5 +87,9 @@ func newJTMetrics(r *obs.Registry) jtMetrics {
 		mapAttemptTime:    r.Histogram(MetricMapAttemptTime),
 		reduceAttemptTime: r.Histogram(MetricReduceAttemptTime),
 		shuffleTime:       r.Histogram(MetricShuffleTime),
+
+		historyEvents:         r.Counter(history.MetricJobEvents),
+		historyFilesPersisted: r.Counter(history.MetricFilesPersisted),
+		historyBytesPersisted: r.Counter(history.MetricBytesPersisted),
 	}
 }

@@ -127,6 +127,16 @@ func (r *Runner) Run(job *mapreduce.Job) (*Report, error) {
 	}
 	for p := 0; p < nReduce; p++ {
 		ctx := mapreduce.NewTaskContext(job.Name, fmt.Sprintf("attempt_r_%06d_0", p), r.FS, job)
+		// Even with no network, account the map->reduce handoff volume the
+		// way the cluster does, so SHUFFLE_BYTES exists (and means the same
+		// logical bytes) in both runtimes.
+		var shuffled int64
+		for _, run := range runsByPartition[p] {
+			for _, kv := range run {
+				shuffled += kv.Bytes()
+			}
+		}
+		ctx.Counters.Inc(mapreduce.CtrShuffleBytes, shuffled)
 		ow, err := mapreduce.NewOutputWriter(job)
 		if err != nil {
 			return nil, err

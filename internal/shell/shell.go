@@ -43,6 +43,12 @@ type auditor interface {
 	Fsck(path string) (*hdfs.FsckReport, error)
 }
 
+// detailAuditor is implemented by filesystems whose fsck supports the
+// -blocks/-locations detail flags.
+type detailAuditor interface {
+	FsckWith(path string, opts hdfs.FsckOpts) (*hdfs.FsckReport, error)
+}
+
 // locator is implemented by filesystems exposing block locations.
 type locator interface {
 	BlockLocations(path string) ([]hdfs.BlockLocation, error)
@@ -379,10 +385,27 @@ func (s *Shell) fsck(args []string) error {
 		return fmt.Errorf("shell: target filesystem has no fsck")
 	}
 	p := "/"
-	if len(args) > 0 {
-		p = args[0]
+	var opts hdfs.FsckOpts
+	for _, arg := range args {
+		switch arg {
+		case "-blocks":
+			opts.Blocks = true
+		case "-locations":
+			opts.Locations = true
+		default:
+			if strings.HasPrefix(arg, "-") {
+				return usage("-fsck: unknown flag %s", arg)
+			}
+			p = arg
+		}
 	}
-	rep, err := a.Fsck(p)
+	var rep *hdfs.FsckReport
+	var err error
+	if da, can := s.FS.(detailAuditor); can && (opts.Blocks || opts.Locations) {
+		rep, err = da.FsckWith(p, opts)
+	} else {
+		rep, err = a.Fsck(p)
+	}
 	if err != nil {
 		return err
 	}
@@ -408,7 +431,9 @@ func (s *Shell) help() error {
   -stat <path>          file metadata
   -setrep <n> <path>    change replication factor
   -locations <path>     block locations (HDFS)
-  -fsck [path]          filesystem audit (HDFS)
+  -fsck [path] [-blocks] [-locations]
+                        filesystem audit (HDFS); -blocks lists block IDs,
+                        -locations adds replica hosts
 `)
 	return nil
 }

@@ -101,6 +101,59 @@ func TestSetrepAndFsck(t *testing.T) {
 	}
 }
 
+func TestFsckDetailFlags(t *testing.T) {
+	sh, _, out := newShell(t)
+	if err := vfs.WriteFile(sh.Local, "/d.txt", bytes.Repeat([]byte("x"), 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run("-put", "/d.txt", "/d.txt"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		wants   []string
+		rejects []string
+	}{
+		{name: "plain", args: []string{"-fsck", "/"},
+			wants: []string{"is HEALTHY"}, rejects: []string{"0. blk_"}},
+		{name: "blocks", args: []string{"-fsck", "/", "-blocks"},
+			wants: []string{"/d.txt 3000 bytes, 3 block(s):", "0. blk_", "2. blk_"}, rejects: []string{"[node"}},
+		{name: "locations", args: []string{"-fsck", "/d.txt", "-locations"},
+			wants: []string{"0. blk_", "[node00"}},
+		{name: "flag order free", args: []string{"-fsck", "-locations", "/d.txt"},
+			wants: []string{"[node00"}},
+		{name: "missing path", args: []string{"-fsck", "/nope", "-blocks"}, wantErr: true},
+		{name: "unknown flag", args: []string{"-fsck", "/", "-bogus"}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out.Reset()
+			err := sh.Run(tc.args...)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got:\n%s", out.String())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range tc.wants {
+				if !strings.Contains(out.String(), w) {
+					t.Fatalf("missing %q:\n%s", w, out.String())
+				}
+			}
+			for _, r := range tc.rejects {
+				if strings.Contains(out.String(), r) {
+					t.Fatalf("unexpected %q:\n%s", r, out.String())
+				}
+			}
+		})
+	}
+}
+
 func TestDuCountStat(t *testing.T) {
 	sh, _, out := newShell(t)
 	if err := vfs.WriteFile(sh.Local, "/a", make([]byte, 10)); err != nil {

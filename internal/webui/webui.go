@@ -11,18 +11,22 @@
 //	/counters    counters of the most recently completed job
 //	/metrics     the full obs snapshot as JSON (counters, gauges, spans)
 //	/timeline    per-job task-attempt timeline from the recorded spans
+//	/history     persisted job histories (the history server)
 package webui
 
 import (
 	"fmt"
 	"net/http"
+	"path"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/mrcluster"
 	"repro/internal/obs"
+	"repro/internal/vfs"
 )
 
 // Handler returns an http.Handler exposing the cluster's status pages.
@@ -57,6 +61,7 @@ func Handler(c *core.MiniCluster) http.Handler {
   /counters    last completed job's counters
   /metrics     cluster metrics + spans (JSON snapshot)
   /timeline    per-job task-attempt timeline
+  /history     persisted job histories (history server)
 `)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -83,11 +88,114 @@ func Handler(c *core.MiniCluster) http.Handler {
 		}
 		return ctrs.String(), nil
 	}))
+	mux.Handle("/history", text(func() (string, error) { return HistoryIndexPage(c.FS()), nil }))
+	mux.HandleFunc("/history/", func(w http.ResponseWriter, r *http.Request) {
+		jobID := strings.TrimPrefix(r.URL.Path, "/history/")
+		if jobID == "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, HistoryIndexPage(c.FS()))
+			return
+		}
+		body, err := HistoryJobPage(c.FS(), jobID)
+		if err != nil {
+			// No history file for that id — the history-server 404.
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, body)
+	})
 	return mux
+}
+
+// HistoryIndexPage lists the job histories persisted under /history in
+// HDFS — the history server's front page.
+func HistoryIndexPage(fs vfs.FileSystem) string {
+	infos, err := fs.List(history.Root)
+	if err != nil || len(infos) == 0 {
+		return "no job history yet\n"
+	}
+	var b strings.Builder
+	b.WriteString("job history (open /history/<jobid>):\n")
+	for _, fi := range infos {
+		if fi.IsDir {
+			fmt.Fprintf(&b, "  %s\n", path.Base(fi.Path))
+		}
+	}
+	return b.String()
+}
+
+// HistoryJobPage renders one persisted job history: the critical-path
+// analysis followed by a per-attempt gantt on the job's own time axis
+// (the same renderer as /timeline, but rebuilt from the durable file
+// rather than live spans).
+func HistoryJobPage(fs vfs.FileSystem, jobID string) (string, error) {
+	data, err := vfs.ReadFile(fs, history.EventsPath(jobID))
+	if err != nil {
+		return "", err
+	}
+	evs, err := history.Parse(data)
+	if err != nil {
+		return "", err
+	}
+	rep, err := history.BuildJobReport(evs)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(rep.AnalysisString())
+	b.WriteString("\nTimeline (rebuilt from the history file):\n")
+	span := rep.Makespan()
+	if span <= 0 {
+		span = 1
+	}
+	for _, a := range rep.Attempts {
+		end := a.End
+		if end < a.Start {
+			end = a.Start
+		}
+		kind := a.Kind
+		if kind == "map" {
+			kind = "map   "
+		}
+		tags := a.Outcome
+		if a.Speculative {
+			tags += ",speculative"
+		}
+		if a.Locality >= 0 {
+			tags += fmt.Sprintf(",locality=%d", a.Locality)
+		}
+		fmt.Fprintf(&b, "%s |%s| %-34s %-8s %v %s\n",
+			kind, ganttBar(a.Start, end, rep.Submitted, span), a.ID, a.Node,
+			a.Duration().Round(time.Millisecond), tags)
+	}
+	return b.String(), nil
 }
 
 // timelineWidth is the character width of the rendered span bars.
 const timelineWidth = 60
+
+// ganttBar renders one timelineWidth-character bar for [start, end] on a
+// time axis beginning at origin and spanning span. Shared by /timeline
+// (live spans) and /history/<jobid> (rebuilt from the history file).
+func ganttBar(start, end, origin, span time.Duration) string {
+	lo := int(timelineWidth * (start - origin) / span)
+	hi := int(timelineWidth * (end - origin) / span)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > timelineWidth-1 {
+		lo = timelineWidth - 1
+	}
+	if hi > timelineWidth {
+		hi = timelineWidth
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) +
+		strings.Repeat(" ", timelineWidth-hi)
+}
 
 // TimelinePage renders a per-job gantt view of the recorded task-attempt
 // spans: one section per finished job, one bar per attempt, positioned on
@@ -123,19 +231,7 @@ func TimelinePage(reg *obs.Registry) string {
 			span = 1
 		}
 		for _, s := range spans {
-			lo := int(timelineWidth * (s.Start - job.Start) / span)
-			hi := int(timelineWidth * (s.End - job.Start) / span)
-			if lo < 0 {
-				lo = 0
-			}
-			if hi > timelineWidth {
-				hi = timelineWidth
-			}
-			if hi <= lo {
-				hi = lo + 1
-			}
-			bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) +
-				strings.Repeat(" ", timelineWidth-hi)
+			bar := ganttBar(s.Start, s.End, job.Start, span)
 			kind := "reduce"
 			if s.Name == mrcluster.SpanMapAttempt {
 				kind = "map   "

@@ -31,67 +31,89 @@ func setup(t *testing.T) *httptest.Server {
 	return srv
 }
 
-func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+func get(t *testing.T, srv *httptest.Server, path string) (code int, contentType, body string) {
 	t.Helper()
 	resp, err := http.Get(srv.URL + path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	b, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, string(body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
 }
 
-func TestPages(t *testing.T) {
+const (
+	textPlain = "text/plain; charset=utf-8"
+	appJSON   = "application/json; charset=utf-8"
+)
+
+func TestEndpoints(t *testing.T) {
 	srv := setup(t)
-	cases := map[string][]string{
-		"/":           {"/dfshealth", "/jobtracker"},
-		"/dfshealth":  {"Live nodes: 4", "Blocks:"},
-		"/jobtracker": {"SUCCEEDED", "TaskTrackers: 4/4 alive"},
-		"/fsck":       {"is HEALTHY"},
-		"/topology":   {"[NameNode]", "blk_"},
-		"/counters":   {"MAP_INPUT_RECORDS", "SHUFFLE_BYTES"},
-		"/metrics":    {`"hdfs.nn.blocks_allocated"`, `"mr.jt.jobs_succeeded"`, `"mr.job"`},
-		"/timeline":   {"job_wordcount", "succeeded", "map    |", "locality="},
+	cases := []struct {
+		path        string
+		status      int
+		contentType string
+		wants       []string
+	}{
+		{"/", http.StatusOK, textPlain, []string{"/dfshealth", "/jobtracker", "/history"}},
+		{"/dfshealth", http.StatusOK, textPlain, []string{"Live nodes: 4", "Blocks:"}},
+		{"/jobtracker", http.StatusOK, textPlain, []string{"SUCCEEDED", "TaskTrackers: 4/4 alive"}},
+		{"/fsck", http.StatusOK, textPlain, []string{"is HEALTHY"}},
+		{"/topology", http.StatusOK, textPlain, []string{"[NameNode]", "blk_"}},
+		{"/counters", http.StatusOK, textPlain, []string{"MAP_INPUT_RECORDS", "SHUFFLE_BYTES"}},
+		{"/metrics", http.StatusOK, appJSON, []string{
+			`"hdfs.nn.blocks_allocated"`, `"mr.jt.jobs_succeeded"`, `"mr.job"`,
+			`"history.audit_events"`, `"history.job_events"`, `"history.files_persisted"`,
+		}},
+		{"/timeline", http.StatusOK, textPlain, []string{"job_wordcount", "succeeded", "map    |", "locality="}},
+		{"/history", http.StatusOK, textPlain, []string{"job_wordcount_combiner_0001"}},
+		{"/history/", http.StatusOK, textPlain, []string{"job_wordcount_combiner_0001"}},
+		{"/history/job_wordcount_combiner_0001", http.StatusOK, textPlain, []string{
+			"Job job_wordcount_combiner_0001 (wordcount-combiner) SUCCEEDED",
+			"Critical path",
+			"Slowest",
+			"Per-node successful attempts",
+			"Timeline (rebuilt from the history file)",
+		}},
+		{"/history/job_missing_9999", http.StatusNotFound, "", nil},
+		{"/nope", http.StatusNotFound, "", nil},
 	}
-	for path, wants := range cases {
-		code, body := get(t, srv, path)
-		if code != http.StatusOK {
-			t.Fatalf("%s -> %d", path, code)
+	for _, tc := range cases {
+		code, ct, body := get(t, srv, tc.path)
+		if code != tc.status {
+			t.Fatalf("%s -> %d, want %d", tc.path, code, tc.status)
 		}
-		for _, want := range wants {
+		if tc.contentType != "" && ct != tc.contentType {
+			t.Fatalf("%s content-type = %q, want %q", tc.path, ct, tc.contentType)
+		}
+		for _, want := range tc.wants {
 			if !strings.Contains(body, want) {
-				t.Fatalf("%s missing %q:\n%s", path, want, body)
+				t.Fatalf("%s missing %q:\n%s", tc.path, want, body)
 			}
 		}
 	}
 }
 
-func TestNotFound(t *testing.T) {
-	srv := setup(t)
-	code, _ := get(t, srv, "/nope")
-	if code != http.StatusNotFound {
-		t.Fatalf("unknown path -> %d", code)
-	}
-}
-
-func TestCountersBeforeAnyJob(t *testing.T) {
+func TestPagesBeforeAnyJob(t *testing.T) {
 	c, err := core.New(core.Options{Nodes: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(webui.Handler(c))
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/counters")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if !strings.Contains(string(body), "no completed jobs") {
-		t.Fatalf("counters page: %s", body)
+	for path, want := range map[string]string{
+		"/counters": "no completed jobs",
+		"/history":  "no job history yet",
+	} {
+		code, _, body := get(t, srv, path)
+		if code != http.StatusOK {
+			t.Fatalf("%s -> %d", path, code)
+		}
+		if !strings.Contains(body, want) {
+			t.Fatalf("%s: %s", path, body)
+		}
 	}
 }
