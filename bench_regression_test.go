@@ -27,6 +27,13 @@ import (
 // be regenerated. Shapes, not absolute numbers, are the contract.
 const driftBand = 3.0
 
+// allocsBand bounds allocs-per-run drift against artifacts that record
+// it. Allocation counts are near-deterministic (map growth contributes
+// small wobble), so the band is tighter than the metric driftBand: a
+// regression that doubles allocations on a hot path must regenerate the
+// artifact deliberately.
+const allocsBand = 1.5
+
 // shapeChecks encodes the qualitative claim behind each headline metric
 // as a closed interval [lo, hi] the value must fall in (math.Inf(1) for
 // unbounded above).
@@ -128,6 +135,24 @@ func diffArtifact(t *testing.T, path string, cur *experiments.HeadlineReport) {
 	if err := json.Unmarshal(data, &prev); err != nil {
 		t.Errorf("%s: %v", path, err)
 		return
+	}
+	// Allocation gate: allocs per experiment run must stay within
+	// allocsBand of any committed artifact that records them. A speed PR
+	// that reintroduces per-record allocations fails here before it shows
+	// up as wall-clock drift.
+	for id, pa := range prev.AllocsPerOp {
+		ca, ok := cur.AllocsPerOp[id]
+		if !ok {
+			t.Errorf("%s: %s allocs/op disappeared from the headline report", path, id)
+			continue
+		}
+		if pa > 0 && ca > 0 {
+			ratio := ca / pa
+			if ratio > allocsBand || ratio < 1/allocsBand {
+				t.Errorf("%s: %s allocs/op drifted %.2fx (artifact %.0f, current %.0f): regenerate with `make bench` if intended",
+					path, id, ratio, pa, ca)
+			}
+		}
 	}
 	for id, prevMetrics := range prev.Experiments {
 		curMetrics, ok := cur.Experiments[id]

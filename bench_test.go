@@ -25,6 +25,7 @@ const benchSeed = 1234
 
 func runExperiment(b *testing.B, id string, report func(b *testing.B, r *experiments.Result)) {
 	b.Helper()
+	b.ReportAllocs()
 	spec, ok := experiments.Lookup(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)

@@ -50,10 +50,53 @@ func splitPath(path string) []string {
 	return strings.Split(p[1:], "/")
 }
 
+// isCleanPath reports whether path is already in vfs.Clean form:
+// absolute, no empty, "." or ".." segments, no trailing slash. Every path
+// the cluster generates internally already is, which lets the namespace
+// walk it in place instead of allocating Clean+Split slices per lookup —
+// these run once per block allocation, heartbeat-driven read and client
+// open, so they sit on the NameNode's hottest path.
+func isCleanPath(p string) bool {
+	if len(p) == 0 || p[0] != '/' {
+		return false
+	}
+	if p == "/" {
+		return true
+	}
+	rest := p[1:]
+	for {
+		i := strings.IndexByte(rest, '/')
+		seg := rest
+		if i >= 0 {
+			seg = rest[:i]
+		}
+		if seg == "" || seg == "." || seg == ".." {
+			return false
+		}
+		if i < 0 {
+			return true
+		}
+		rest = rest[i+1:]
+	}
+}
+
 // lookup returns the inode at path, or nil.
 func (ns *namespace) lookup(path string) *inode {
+	p := path
+	if !isCleanPath(p) {
+		p = vfs.Clean(path)
+	}
 	cur := ns.root
-	for _, seg := range splitPath(path) {
+	if p == "/" {
+		return cur
+	}
+	rest := p[1:]
+	for {
+		i := strings.IndexByte(rest, '/')
+		seg := rest
+		if i >= 0 {
+			seg = rest[:i]
+		}
 		if !cur.dir {
 			return nil
 		}
@@ -62,31 +105,32 @@ func (ns *namespace) lookup(path string) *inode {
 			return nil
 		}
 		cur = next
+		if i < 0 {
+			return cur
+		}
+		rest = rest[i+1:]
 	}
-	return cur
 }
 
 // lookupParent returns the parent directory inode and final segment name.
 func (ns *namespace) lookupParent(path string) (*inode, string) {
-	segs := splitPath(path)
-	if len(segs) == 0 {
+	p := path
+	if !isCleanPath(p) {
+		p = vfs.Clean(path)
+	}
+	if p == "/" {
 		return nil, ""
 	}
+	i := strings.LastIndexByte(p, '/')
+	dir, name := p[:i], p[i+1:]
 	cur := ns.root
-	for _, seg := range segs[:len(segs)-1] {
-		if !cur.dir {
-			return nil, ""
-		}
-		next, ok := cur.children[seg]
-		if !ok {
-			return nil, ""
-		}
-		cur = next
+	if dir != "" {
+		cur = ns.lookup(dir)
 	}
-	if !cur.dir {
+	if cur == nil || !cur.dir {
 		return nil, ""
 	}
-	return cur, segs[len(segs)-1]
+	return cur, name
 }
 
 // mkdirAll creates the directory path and parents.

@@ -1,0 +1,167 @@
+package iofmt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// recordsFrom deterministically chops fuzz input into key/value records of
+// irregular small sizes, so one []byte input exercises empty keys, empty
+// values, and records that straddle block boundaries.
+func recordsFrom(data []byte) (keys, vals [][]byte) {
+	i := 0
+	for n := 1; i < len(data); n++ {
+		k := i + n%7
+		if k > len(data) {
+			k = len(data)
+		}
+		v := k + n%11
+		if v > len(data) {
+			v = len(data)
+		}
+		keys = append(keys, data[i:k])
+		vals = append(vals, data[k:v])
+		i = v
+	}
+	return keys, vals
+}
+
+func fuzzCodec(pick uint8) Codec {
+	switch pick % 3 {
+	case 1:
+		c, _ := ByName("gzip")
+		return c
+	case 2:
+		c, _ := ByName("lzs")
+		return c
+	}
+	return nil // store raw
+}
+
+// FuzzSeqSplit pins the splittability invariant the IO lab relies on:
+// cutting a SequenceFile at ANY byte offset and reading the two splits
+// yields exactly the records of reading the file whole, in order, for
+// every codec and block size.
+func FuzzSeqSplit(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint16(17), uint8(2), uint8(0))
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), uint16(0), uint8(1), uint8(1))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xff, 0xfe}, uint16(999), uint8(5), uint8(2))
+	f.Add([]byte{}, uint16(3), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, splitAt uint16, blockRecs uint8, codecPick uint8) {
+		keys, vals := recordsFrom(data)
+		var buf bytes.Buffer
+		sw, err := NewSeqWriter(&buf, SeqWriterOptions{
+			Codec:        fuzzCodec(codecPick),
+			BlockRecords: 1 + int(blockRecs%8),
+			BlockBytes:   64, // tiny blocks: many sync points per input
+		})
+		if err != nil {
+			t.Fatalf("NewSeqWriter: %v", err)
+		}
+		for i := range keys {
+			if err := sw.Append(keys[i], vals[i]); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		file := buf.Bytes()
+		size := int64(len(file))
+
+		full, _, err := ReadSeqBytes(file)
+		if err != nil {
+			t.Fatalf("ReadSeqBytes: %v", err)
+		}
+		if len(full) != len(keys) {
+			t.Fatalf("full read: %d records, wrote %d", len(full), len(keys))
+		}
+		for i, r := range full {
+			if !bytes.Equal(r.Key, keys[i]) || !bytes.Equal(r.Val, vals[i]) {
+				t.Fatalf("full read record %d: got (%q,%q), wrote (%q,%q)", i, r.Key, r.Val, keys[i], vals[i])
+			}
+		}
+
+		s := int64(splitAt) % (size + 1)
+		read := BytesRangeReader(file)
+		left, _, err := ReadSeqSplit(read, size, 0, s)
+		if err != nil {
+			t.Fatalf("ReadSeqSplit[0,%d): %v", s, err)
+		}
+		right, _, err := ReadSeqSplit(read, size, s, size)
+		if err != nil {
+			t.Fatalf("ReadSeqSplit[%d,%d): %v", s, size, err)
+		}
+		if len(left)+len(right) != len(full) {
+			t.Fatalf("split at %d: %d+%d records, full read has %d", s, len(left), len(right), len(full))
+		}
+		for i, r := range append(left, right...) {
+			if !bytes.Equal(r.Key, full[i].Key) || !bytes.Equal(r.Val, full[i].Val) {
+				t.Fatalf("split at %d: record %d = (%q,%q), full read has (%q,%q)",
+					s, i, r.Key, r.Val, full[i].Key, full[i].Val)
+			}
+		}
+	})
+}
+
+// FuzzSeqReadCorrupt feeds arbitrary bytes to the SequenceFile reader:
+// whatever the corruption, it must return an error or records — never
+// panic, never loop. Seeds include a valid file prefix so mutations
+// explore truncations and bit flips of real block structure.
+func FuzzSeqReadCorrupt(f *testing.F) {
+	var buf bytes.Buffer
+	sw, _ := NewSeqWriter(&buf, SeqWriterOptions{BlockRecords: 2})
+	_ = sw.Append([]byte("key"), []byte("value"))
+	_ = sw.Append([]byte("k2"), []byte("v2"))
+	_ = sw.Append([]byte("k3"), []byte("v3"))
+	_ = sw.Close()
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()-3])
+	f.Add([]byte("SEQREPRO"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, _, err := ReadSeqBytes(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded file must re-encode its records sanely.
+		for _, r := range recs {
+			if r.Offset < 0 || r.Offset > int64(len(data)) {
+				t.Fatalf("record offset %d outside file of %d bytes", r.Offset, len(data))
+			}
+		}
+	})
+}
+
+// FuzzCodecRoundTrip checks Compress/Decompress round-trips for every
+// registered codec, and that Decompress survives arbitrary (corrupt)
+// input without panicking — the lzs decoder walks attacker-controlled
+// back-references.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte("compress me compress me compress me"), uint8(2))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f}, uint8(1))
+	f.Add([]byte(""), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, pick uint8) {
+		for _, name := range CodecNames() {
+			c, err := ByName(name)
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", name, err)
+			}
+			enc, err := c.Compress(data)
+			if err != nil {
+				t.Fatalf("%s: Compress: %v", name, err)
+			}
+			dec, err := c.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%s: Decompress(Compress(x)): %v", name, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("%s: round-trip mismatch: %d bytes in, %d out", name, len(data), len(dec))
+			}
+			// Corrupt-input decode: must not panic; errors are fine.
+			if _, err := c.Decompress(data); err == nil && pick%2 == 0 {
+				_ = err
+			}
+		}
+	})
+}

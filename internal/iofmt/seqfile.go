@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 )
 
 // The SequenceFile container, modelled on Hadoop's block-compressed
@@ -85,6 +86,7 @@ type SeqWriter struct {
 	sync [SyncSize]byte
 
 	buf     []byte // raw payload of the open block
+	blk     []byte // reused container-block scratch (sync + header + payload)
 	bufRecs int
 
 	// Records, RawBytes and WrittenBytes meter the file: logical record
@@ -119,10 +121,22 @@ func (sw *SeqWriter) Append(key, val []byte) error {
 	if sw.closed {
 		return io.ErrClosedPipe
 	}
-	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(key)))
-	sw.buf = append(sw.buf, key...)
-	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(val)))
-	sw.buf = append(sw.buf, val...)
+	sw.buf = AppendRecord(sw.buf, key, val)
+	return sw.noteAppend()
+}
+
+// AppendString adds one record from string key/value. It frames directly
+// into the open block's buffer, so (unlike Append on converted strings)
+// no per-record []byte copies are made.
+func (sw *SeqWriter) AppendString(key, val string) error {
+	if sw.closed {
+		return io.ErrClosedPipe
+	}
+	sw.buf = AppendRecordString(sw.buf, key, val)
+	return sw.noteAppend()
+}
+
+func (sw *SeqWriter) noteAppend() error {
 	sw.bufRecs++
 	sw.Records++
 	if sw.bufRecs >= sw.opts.BlockRecords || len(sw.buf) >= sw.opts.BlockBytes {
@@ -143,11 +157,14 @@ func (sw *SeqWriter) flushBlock() error {
 			return err
 		}
 	}
-	blk := append([]byte(nil), sw.sync[:]...)
+	// blk is scratch reused across blocks: after the first flush the only
+	// per-block allocation left is whatever the codec itself makes.
+	blk := append(sw.blk[:0], sw.sync[:]...)
 	blk = binary.AppendUvarint(blk, uint64(sw.bufRecs))
 	blk = binary.AppendUvarint(blk, uint64(len(sw.buf)))
 	blk = binary.AppendUvarint(blk, uint64(len(payload)))
 	blk = append(blk, payload...)
+	sw.blk = blk
 	if _, err := sw.w.Write(blk); err != nil {
 		return err
 	}
@@ -353,16 +370,15 @@ func ReadSeqSplit(read RangeReaderFunc, fileSize, off, end int64) ([]SeqRecord, 
 		if int64(len(raw)) != rawLen {
 			return nil, stats, fmt.Errorf("%w: block at %d decoded %d bytes, header says %d", ErrCorrupt, blockStart, len(raw), rawLen)
 		}
+		if need := len(recs) + int(recCount); cap(recs) < need {
+			recs = slices.Grow(recs, int(recCount))
+		}
 		for i := int64(0); i < recCount; i++ {
-			key, rest, err := takeBytes(raw)
+			key, val, rest, err := ConsumeRecord(raw)
 			if err != nil {
 				return nil, stats, fmt.Errorf("%w: record %d of block at %d", err, i, blockStart)
 			}
-			val, rest2, err := takeBytes(rest)
-			if err != nil {
-				return nil, stats, fmt.Errorf("%w: record %d of block at %d", err, i, blockStart)
-			}
-			raw = rest2
+			raw = rest
 			recs = append(recs, SeqRecord{Offset: blockStart, Key: key, Val: val})
 		}
 		stats.Blocks++
@@ -453,7 +469,7 @@ func readBlockHeader(f *seqFetcher, at int64) (recCount, rawLen, payloadLen, bod
 		return 0, 0, 0, 0, err
 	}
 	hdr := f.bytes(at, want)
-	vals := make([]int64, 3)
+	var vals [3]int64
 	off := 0
 	for i := range vals {
 		v, n := binary.Uvarint(hdr[off:])

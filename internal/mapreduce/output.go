@@ -2,7 +2,6 @@ package mapreduce
 
 import (
 	"bytes"
-	"fmt"
 
 	"repro/internal/iofmt"
 )
@@ -63,10 +62,14 @@ func NewOutputWriter(job *Job) (*OutputWriter, error) {
 // WriteRecord adds one reduce output record.
 func (w *OutputWriter) WriteRecord(key, val string) error {
 	if w.seq != nil {
-		return w.seq.Append([]byte(key), []byte(val))
+		return w.seq.AppendString(key, val)
 	}
-	_, err := fmt.Fprintf(&w.text, "%s\t%s\n", key, val)
-	return err
+	w.text.Grow(len(key) + len(val) + 2)
+	w.text.WriteString(key)
+	w.text.WriteByte('\t')
+	w.text.WriteString(val)
+	w.text.WriteByte('\n')
+	return nil
 }
 
 // Write satisfies io.Writer call sites; bytes land in the text buffer

@@ -1,40 +1,224 @@
 package mapreduce
 
 import (
-	"sort"
+	"slices"
+	"strings"
 )
 
-// SortPairs orders pairs by key. The sort is stable so that values for a
-// key arrive at the reducer in emission order, which several of the course
-// jobs rely on for determinism.
+// keyIndex is the sort key the shuffle actually orders by: the record's
+// key plus its emission index. Sorting these 24-byte headers (instead of
+// swapping full Pair structs through a reflective comparator, as the old
+// sort.SliceStable implementation did) keeps the hot comparison loop in
+// cache and makes an unstable pattern-defeating quicksort equivalent to a
+// stable sort — the index breaks every tie deterministically.
+type keyIndex struct {
+	key string
+	i   int32
+}
+
+// SortPairs orders pairs by key. Equal keys keep their emission order so
+// that values for a key arrive at the reducer deterministically, which
+// several of the course jobs rely on.
+//
+// Two strategies produce that order. The general path sorts (key, index)
+// headers. Duplicate-heavy outputs — counting jobs emit each word
+// thousands of times — instead group by key first and sort only the
+// distinct keys, turning an O(n log n) comparison sort into O(u log u)
+// for u unique keys plus two linear passes. A small sample of the input
+// picks the strategy; both yield byte-identical results.
 func SortPairs(pairs []Pair) {
-	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	n := len(pairs)
+	if n < 2 {
+		return
+	}
+	if n >= dupSampleMinLen && looksDuplicateHeavy(pairs) {
+		groupSortPairs(pairs)
+		return
+	}
+	idx := make([]keyIndex, n)
+	for i, p := range pairs {
+		idx[i] = keyIndex{key: p.Key, i: int32(i)}
+	}
+	slices.SortFunc(idx, func(a, b keyIndex) int {
+		if c := strings.Compare(a.key, b.key); c != 0 {
+			return c
+		}
+		return int(a.i) - int(b.i)
+	})
+	tmp := make([]Pair, n)
+	for i, k := range idx {
+		tmp[i] = pairs[k.i]
+	}
+	copy(pairs, tmp)
+}
+
+const (
+	dupSampleMinLen = 512 // below this the direct sort always wins
+	dupSampleSize   = 64
+)
+
+// looksDuplicateHeavy samples evenly spaced keys and reports whether the
+// sample repeats keys enough to justify the grouped sort. It is only a
+// performance heuristic: either answer leaves the sorted output identical.
+func looksDuplicateHeavy(pairs []Pair) bool {
+	seen := make(map[string]struct{}, dupSampleSize)
+	step := len(pairs) / dupSampleSize
+	for i := 0; i < dupSampleSize; i++ {
+		seen[pairs[i*step].Key] = struct{}{}
+	}
+	return len(seen) <= dupSampleSize*3/4
+}
+
+// groupSortPairs is the duplicate-heavy strategy: assign each distinct
+// key a group, sort the groups, then scatter the pairs into their group's
+// output window in emission order.
+func groupSortPairs(pairs []Pair) {
+	n := len(pairs)
+	gids := make([]int32, n)
+	gidOf := make(map[string]int32, 64)
+	var groups []keyIndex // key plus its group id
+	var counts []int32
+	for i, p := range pairs {
+		g, ok := gidOf[p.Key]
+		if !ok {
+			g = int32(len(groups))
+			gidOf[p.Key] = g
+			groups = append(groups, keyIndex{key: p.Key, i: g})
+			counts = append(counts, 0)
+		}
+		gids[i] = g
+		counts[g]++
+	}
+	slices.SortFunc(groups, func(a, b keyIndex) int {
+		return strings.Compare(a.key, b.key) // keys are distinct: no ties
+	})
+	offs := make([]int32, len(groups))
+	var off int32
+	for _, g := range groups {
+		offs[g.i] = off
+		off += counts[g.i]
+	}
+	tmp := make([]Pair, n)
+	for i, p := range pairs {
+		g := gids[i]
+		tmp[offs[g]] = p
+		offs[g]++
+	}
+	copy(pairs, tmp)
+}
+
+// mergeCursor is one run's head position inside the k-way merge heap.
+type mergeCursor struct {
+	run int // index into runs, the deterministic tie-breaker
+	pos int
 }
 
 // MergeSortedRuns merges pre-sorted runs of pairs (one per map task) into
 // a single sorted slice — the reduce-side merge phase. Ties across runs
-// resolve in run order, keeping the merge deterministic.
+// resolve in run order, keeping the merge deterministic. Small merges use
+// a linear scan over run heads; larger fan-ins switch to a binary heap of
+// cursors so the per-record cost is O(log k) comparisons instead of O(k).
 func MergeSortedRuns(runs [][]Pair) []Pair {
 	total := 0
-	live := make([][]Pair, 0, len(runs))
+	nonEmpty := 0
 	for _, r := range runs {
 		if len(r) > 0 {
-			live = append(live, r)
+			nonEmpty++
 			total += len(r)
 		}
 	}
 	out := make([]Pair, 0, total)
-	for len(live) > 0 {
-		best := 0
-		for i := 1; i < len(live); i++ {
-			if live[i][0].Key < live[best][0].Key {
-				best = i
+	switch nonEmpty {
+	case 0:
+		return out
+	case 1:
+		for _, r := range runs {
+			if len(r) > 0 {
+				return append(out, r...)
 			}
 		}
-		out = append(out, live[best][0])
-		live[best] = live[best][1:]
-		if len(live[best]) == 0 {
-			live = append(live[:best], live[best+1:]...)
+	}
+
+	if nonEmpty <= 4 {
+		// Cursor-based linear scan: cheap for the common 2–4 run case.
+		cur := make([]mergeCursor, 0, nonEmpty)
+		for i, r := range runs {
+			if len(r) > 0 {
+				cur = append(cur, mergeCursor{run: i})
+			}
+		}
+		for len(cur) > 0 {
+			best := 0
+			for i := 1; i < len(cur); i++ {
+				if runs[cur[i].run][cur[i].pos].Key < runs[cur[best].run][cur[best].pos].Key {
+					best = i
+				}
+			}
+			c := &cur[best]
+			out = append(out, runs[c.run][c.pos])
+			c.pos++
+			if c.pos == len(runs[c.run]) {
+				cur = append(cur[:best], cur[best+1:]...)
+			}
+		}
+		return out
+	}
+
+	// Heap merge. less orders by (head key, run index); the run index keeps
+	// ties in run order, matching the linear scan exactly.
+	h := make([]mergeCursor, 0, nonEmpty)
+	less := func(a, b mergeCursor) bool {
+		ka, kb := runs[a.run][a.pos].Key, runs[b.run][b.pos].Key
+		if ka != kb {
+			return ka < kb
+		}
+		return a.run < b.run
+	}
+	push := func(c mergeCursor) {
+		h = append(h, c)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				break
+			}
+			m := l
+			if r := l + 1; r < len(h) && less(h[r], h[l]) {
+				m = r
+			}
+			if !less(h[m], h[i]) {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i, r := range runs {
+		if len(r) > 0 {
+			push(mergeCursor{run: i})
+		}
+	}
+	for len(h) > 0 {
+		c := h[0]
+		out = append(out, runs[c.run][c.pos])
+		c.pos++
+		if c.pos < len(runs[c.run]) {
+			h[0] = c
+			siftDown()
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			siftDown()
 		}
 	}
 	return out
@@ -42,10 +226,13 @@ func MergeSortedRuns(runs [][]Pair) []Pair {
 
 // Values iterates the decoded values of one reduce group. It decodes
 // lazily so the raw (metered) bytes are what travelled through the
-// shuffle.
+// shuffle. The backing store is either an explicit [][]byte (NewValues)
+// or a window of the sorted pair slice (GroupIterate), the latter so the
+// group loop allocates nothing per group.
 type Values struct {
 	decode ValueDecoder
 	raw    [][]byte
+	pairs  []Pair
 	i      int
 }
 
@@ -56,10 +243,20 @@ func NewValues(decode ValueDecoder, raw [][]byte) *Values {
 
 // Next returns the next value, or ok=false when exhausted.
 func (v *Values) Next() (Value, bool, error) {
-	if v.i >= len(v.raw) {
-		return nil, false, nil
+	var enc []byte
+	switch {
+	case v.pairs != nil:
+		if v.i >= len(v.pairs) {
+			return nil, false, nil
+		}
+		enc = v.pairs[v.i].Val
+	default:
+		if v.i >= len(v.raw) {
+			return nil, false, nil
+		}
+		enc = v.raw[v.i]
 	}
-	val, err := v.decode(v.raw[v.i])
+	val, err := v.decode(enc)
 	if err != nil {
 		return nil, false, err
 	}
@@ -84,7 +281,12 @@ func (v *Values) Each(fn func(Value) error) error {
 }
 
 // Len returns the total number of values in the group.
-func (v *Values) Len() int { return len(v.raw) }
+func (v *Values) Len() int {
+	if v.pairs != nil {
+		return len(v.pairs)
+	}
+	return len(v.raw)
+}
 
 // GroupIterate walks a sorted pair slice group by group, invoking fn once
 // per distinct key with an iterator over that key's values.
@@ -97,22 +299,20 @@ func GroupIterate(sorted []Pair, decode ValueDecoder, fn func(key string, values
 // full-key sorted order — the grouping-comparator semantics behind
 // secondary sort. fn receives the group's first full key.
 func GroupIterateBy(sorted []Pair, decode ValueDecoder, groupKey func(string) string, fn func(key string, values *Values) error) error {
-	gk := func(k string) string { return k }
-	if groupKey != nil {
-		gk = groupKey
-	}
 	i := 0
 	for i < len(sorted) {
-		j := i
-		g := gk(sorted[i].Key)
-		for j < len(sorted) && gk(sorted[j].Key) == g {
-			j++
+		j := i + 1
+		if groupKey == nil {
+			for j < len(sorted) && sorted[j].Key == sorted[i].Key {
+				j++
+			}
+		} else {
+			g := groupKey(sorted[i].Key)
+			for j < len(sorted) && groupKey(sorted[j].Key) == g {
+				j++
+			}
 		}
-		raw := make([][]byte, 0, j-i)
-		for k := i; k < j; k++ {
-			raw = append(raw, sorted[k].Val)
-		}
-		if err := fn(sorted[i].Key, NewValues(decode, raw)); err != nil {
+		if err := fn(sorted[i].Key, &Values{decode: decode, pairs: sorted[i:j]}); err != nil {
 			return err
 		}
 		i = j
@@ -139,10 +339,12 @@ func RunCombiner(ctx *TaskContext, job *Job, sorted []Pair) ([]Pair, error) {
 	}
 	combiner := job.NewCombiner()
 	col := &pairCollector{}
+	var inRecords int64
 	err := GroupIterate(sorted, job.DecodeValue, func(key string, values *Values) error {
-		ctx.Counters.Inc(CtrCombineInputRecords, int64(values.Len()))
+		inRecords += int64(values.Len())
 		return combiner.Reduce(ctx, key, values, col)
 	})
+	ctx.Counters.Inc(CtrCombineInputRecords, inRecords)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,26 @@ func DecodeText(b []byte) (Value, error) { return Text(b), nil }
 // Int64 is an integer Value (Hadoop's LongWritable).
 type Int64 int64
 
+// smallInt64Enc holds the shared encodings of the smallest Int64 values.
+// Counting jobs emit Int64(1) once per input token, so interning the
+// encoding removes one 8-byte allocation per emitted record. The slices
+// are shared: encoded values are read-only once emitted (they travel the
+// shuffle and output paths untouched), which is what makes this safe.
+var smallInt64Enc = func() [32][]byte {
+	var encs [32][]byte
+	backing := make([]byte, 8*len(encs))
+	for i := range encs {
+		b := backing[8*i : 8*i+8]
+		binary.BigEndian.PutUint64(b, uint64(i))
+		encs[i] = b
+	}
+	return encs
+}()
+
 func (v Int64) EncodeValue() []byte {
+	if v >= 0 && int64(v) < int64(len(smallInt64Enc)) {
+		return smallInt64Enc[v]
+	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
 	return buf[:]

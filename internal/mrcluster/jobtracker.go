@@ -38,14 +38,19 @@ type task struct {
 
 	output   *mapreduce.MapOutput // completed map output
 	outputOn cluster.NodeID
+
+	cachedID string // interned id(): built once, reused by every event
 }
 
 func (t *task) id() string {
-	kind := "r"
-	if t.isMap {
-		kind = "m"
+	if t.cachedID == "" {
+		kind := "r"
+		if t.isMap {
+			kind = "m"
+		}
+		t.cachedID = fmt.Sprintf("task_%s_%s_%06d", t.jr.id, kind, t.idx)
 	}
-	return fmt.Sprintf("task_%s_%s_%06d", t.jr.id, kind, t.idx)
+	return t.cachedID
 }
 
 type attempt struct {
@@ -56,13 +61,18 @@ type attempt struct {
 	locality    int // 0 data-local, 1 rack-local, 2 remote (maps)
 	startedAt   sim.Time
 	expectedEnd sim.Time
-	timer       *sim.Timer
+	timer       sim.Timer
 	dead        bool
 	tempPath    string // reduce attempts: uncommitted output
+
+	cachedID string // interned id(), same pattern as task.cachedID
 }
 
 func (a *attempt) id() string {
-	return fmt.Sprintf("attempt_%s_%d", a.t.id(), a.seq)
+	if a.cachedID == "" {
+		a.cachedID = fmt.Sprintf("attempt_%s_%d", a.t.id(), a.seq)
+	}
+	return a.cachedID
 }
 
 type jobState int
@@ -236,9 +246,7 @@ func (jt *JobTracker) killAttempt(a *attempt, reason string) {
 		return
 	}
 	a.dead = true
-	if a.timer != nil {
-		a.timer.Cancel()
-	}
+	a.timer.Cancel()
 	jt.releaseSlot(a)
 	a.t.removeAttempt(a)
 	if a.tempPath != "" {

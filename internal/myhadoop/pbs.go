@@ -59,7 +59,7 @@ type Reservation struct {
 	Allocated []cluster.NodeID
 	StartedAt sim.Time
 
-	expiry *sim.Timer
+	expiry sim.Timer
 	// StoppedCleanly records whether the user stopped their daemons
 	// before the reservation ended.
 	StoppedCleanly bool
@@ -147,9 +147,7 @@ func (p *PBS) tryStart() {
 
 // Release ends a reservation early (the user's job script finished).
 func (p *PBS) Release(r *Reservation) {
-	if r.expiry != nil {
-		r.expiry.Cancel()
-	}
+	r.expiry.Cancel()
 	p.release(r)
 }
 
@@ -188,9 +186,7 @@ func (p *PBS) Preempt(n int) []*Reservation {
 		if victim == nil {
 			break
 		}
-		if victim.expiry != nil {
-			victim.expiry.Cancel()
-		}
+		victim.expiry.Cancel()
 		p.release(victim)
 		evicted = append(evicted, victim)
 	}

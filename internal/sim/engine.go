@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"time"
@@ -18,32 +17,71 @@ import (
 // which keeps arithmetic trivial.
 type Time = time.Duration
 
-// Event is a scheduled callback. Events with equal fire times run in the
-// order they were scheduled.
+// event is a scheduled callback. Events with equal fire times run in the
+// order they were scheduled (seq breaks ties). Event structs are pooled:
+// once popped from the queue an event goes back on the engine's free list
+// and may be handed out again by a later Schedule. gen is bumped at each
+// recycle so stale Timer handles (whose captured gen no longer matches)
+// cannot cancel the event's next incarnation.
 type event struct {
 	at  Time
 	seq uint64
+	gen uint64
 	fn  func()
 }
 
+// eventQueue is a 4-ary min-heap ordered by (at, seq). A 4-ary layout
+// halves the tree depth of the binary heap it replaced, and the hand-rolled
+// sift routines avoid the interface boxing and indirect calls of
+// container/heap — Schedule and Step are the innermost loop of every
+// simulation.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+func (q eventQueue) siftUp(i int) {
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+}
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	ev := q[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !eventLess(q[best], ev) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = ev
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
@@ -52,6 +90,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
+	free    []*event // recycled event structs, see event
 	stopped bool
 	// Processed counts events executed, useful as a progress metric and a
 	// guard against runaway simulations.
@@ -62,9 +101,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
@@ -72,22 +109,54 @@ func (e *Engine) Now() Time { return e.now }
 
 // Schedule runs fn at the absolute virtual time at. Scheduling in the past
 // (before Now) panics: it always indicates a logic error in a simulation.
-func (e *Engine) Schedule(at Time, fn func()) *Timer {
+func (e *Engine) Schedule(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return &Timer{engine: e, ev: ev}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
+	e.queue = append(e.queue, ev)
+	e.queue.siftUp(len(e.queue) - 1)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After runs fn after the virtual duration d.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.Schedule(e.now+d, fn)
+}
+
+// pop removes and returns the earliest event without recycling it.
+func (e *Engine) pop() *event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.queue.siftDown(0)
+	}
+	return ev
+}
+
+// release puts a popped event on the free list. Bumping gen here — not at
+// reuse — guarantees any Timer still holding the old generation sees a
+// mismatch from the moment the event leaves the queue.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Advance moves the clock forward by d, firing any events that fall within
@@ -99,25 +168,25 @@ func (e *Engine) Advance(d time.Duration) {
 		panic("sim: negative advance")
 	}
 	e.RunUntil(e.now + d)
-	e.now = e.now + 0 // clock already moved by RunUntil
 }
 
 // Step executes the single next pending event, returning false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
-		return false
+	for len(e.queue) > 0 {
+		ev := e.pop()
+		if ev.fn == nil { // cancelled
+			e.release(ev)
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		fn := ev.fn
+		e.release(ev)
+		fn()
+		return true
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	if ev.fn == nil { // cancelled
-		return e.Step()
-	}
-	e.now = ev.at
-	e.Processed++
-	fn := ev.fn
-	ev.fn = nil
-	fn()
-	return true
+	return false
 }
 
 // RunUntil processes events until the queue is exhausted or the next event
@@ -126,7 +195,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.queue) > 0 && !e.stopped {
 		if e.queue[0].fn == nil {
-			heap.Pop(&e.queue)
+			e.release(e.pop())
 			continue
 		}
 		if e.queue[0].at > deadline {
@@ -169,16 +238,20 @@ func (e *Engine) Pending() int {
 	return n
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// Timer is valid and Cancel on it is a no-op, so callers can keep one in a
+// struct field without a pointer. Because event structs are pooled, the
+// handle captures the event's generation; a Timer outliving its event (it
+// fired, or was cancelled and swept) can never affect the recycled struct.
 type Timer struct {
-	engine *Engine
-	ev     *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op. Reports whether the event was live.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.fn == nil {
 		return false
 	}
 	t.ev.fn = nil
@@ -191,7 +264,7 @@ type Ticker struct {
 	interval time.Duration
 	fn       func()
 	stopped  bool
-	timer    *Timer
+	timer    Timer
 }
 
 // Every schedules fn to run every interval, first firing after one interval.
@@ -219,7 +292,5 @@ func (t *Ticker) arm() {
 // Stop prevents future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Cancel()
-	}
+	t.timer.Cancel()
 }
