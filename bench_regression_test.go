@@ -79,6 +79,15 @@ var shapeChecks = map[string]map[string][2]float64{
 		"critical-path-len":  {1, math.Inf(1)}, // something bounds completion
 		"path-work-fraction": {0, 1},           // a fraction of the makespan
 	},
+	"E12": {
+		"apps":                      {1000, math.Inf(1)}, // the replay is at trace scale
+		"students-p99-reduction-x":  {2, math.Inf(1)},    // fair share flattens the deadline queue
+		"students-p99-fifo-minutes": {5, math.Inf(1)},    // FIFO melts down at 10x enrollment
+		"students-p99-cap-minutes":  {0, 10},             // capacity keeps students interactive
+		"preemptions":               {1, math.Inf(1)},    // preemption actually fired
+		"node-hours-saved-x":        {1, math.Inf(1)},    // autoscaling returns idle capacity
+		"cap-makespan-minutes":      {1, math.Inf(1)},
+	},
 }
 
 func TestBenchRegression(t *testing.T) {

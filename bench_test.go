@@ -119,3 +119,8 @@ func BenchmarkE10FileFormats(b *testing.B) { runExperiment(b, "E10", headlines("
 // BenchmarkE11JobHistory measures the history subsystem: event volumes,
 // persisted bytes, and the critical path rebuilt from the event log.
 func BenchmarkE11JobHistory(b *testing.B) { runExperiment(b, "E11", headlines("E11")) }
+
+// BenchmarkE12Multitenant replays the 1,200-app Google-trace workload —
+// the deadline meltdown at 10x enrollment — through FIFO and capacity
+// scheduling and reports the fairness/cost headline metrics.
+func BenchmarkE12Multitenant(b *testing.B) { runExperiment(b, "E12", headlines("E12")) }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/vfs"
+	"repro/internal/yarn"
 )
 
 func main() {
@@ -42,6 +43,9 @@ func main() {
 	slowNode := flag.Int("slow-node", -1, "cluster mode: make this node a straggler (task durations multiplied by -slow-factor)")
 	slowFactor := flag.Float64("slow-factor", 8, "cluster mode: straggler slowdown factor for -slow-node")
 	speculative := flag.Bool("speculative", false, "cluster mode: enable speculative execution of straggling tasks")
+	yarnMode := flag.Bool("yarn", false, "cluster mode: run the JobTracker as a YARN application (containers negotiated from the ResourceManager)")
+	queue := flag.String("queue", "", "cluster mode with -yarn: capacity queue to submit the job to")
+	user := flag.String("user", "", "cluster mode with -yarn: submitting user (for capacity-queue user limits)")
 	flag.Parse()
 
 	if *list {
@@ -92,12 +96,18 @@ func main() {
 		if *slowNode >= 0 {
 			mrCfg.NodeSlowdown = map[cluster.NodeID]float64{cluster.NodeID(*slowNode): *slowFactor}
 		}
-		c, err := core.New(core.Options{
+		copts := core.Options{
 			Nodes: *nodes,
 			Seed:  *seed,
 			HDFS:  hdfs.Config{BlockSize: *blockSize},
 			MR:    mrCfg,
-		})
+		}
+		if *yarnMode {
+			copts.YARN = &yarn.CapacityOptions{}
+		} else if *queue != "" || *user != "" {
+			fatal(fmt.Errorf("-queue/-user require -yarn"))
+		}
+		c, err := core.New(copts)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,11 +127,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		job.Queue, job.User = *queue, *user
 		rep, err := c.Run(job)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(rep)
+		if c.RM != nil {
+			fmt.Printf("YARN: %d containers launched, %d preemptions, %.2f node-hours\n",
+				c.RM.ContainersLaunched, c.RM.Preemptions(), c.RM.NodeHours())
+		}
 		if _, err := vfs.CopyTree(c.FS(), "/out", host, outAbs); err != nil {
 			fatal(fmt.Errorf("exporting output: %w", err))
 		}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/shell"
 	"repro/internal/sim"
 	"repro/internal/vfs"
+	"repro/internal/yarn"
 )
 
 // Options configures a MiniCluster. The zero value gives the paper's
@@ -34,6 +35,10 @@ type Options struct {
 	// MetadataFS, when set, persists the NameNode namespace (fsimage +
 	// edit log) for cold-start recovery.
 	MetadataFS vfs.FileSystem
+	// YARN, when set, builds a capacity ResourceManager over the cluster
+	// and runs the JobTracker as a YARN application: jobs negotiate task
+	// containers through capacity queues instead of per-node slots.
+	YARN *yarn.CapacityOptions
 }
 
 // MiniCluster is a fully assembled simulated Hadoop deployment.
@@ -42,6 +47,8 @@ type MiniCluster struct {
 	Topology *cluster.Topology
 	DFS      *hdfs.MiniDFS
 	MR       *mrcluster.MRCluster
+	// RM is the YARN capacity ResourceManager (nil unless Options.YARN).
+	RM *yarn.ResourceManager
 	// Obs is the cluster-wide observability registry: every metric and
 	// span the HDFS and MapReduce layers emit lands here.
 	Obs *obs.Registry
@@ -66,8 +73,20 @@ func New(opts Options) (*MiniCluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rm *yarn.ResourceManager
+	if opts.YARN != nil {
+		yopts := *opts.YARN
+		if yopts.Obs == nil {
+			yopts.Obs = dfs.Obs
+		}
+		rm, err = yarn.NewCapacityResourceManager(eng, topo, yopts)
+		if err != nil {
+			return nil, err
+		}
+		opts.MR.YARN = rm
+	}
 	mc := mrcluster.NewMRCluster(dfs, opts.MR, opts.Seed+1)
-	return &MiniCluster{Engine: eng, Topology: topo, DFS: dfs, MR: mc, Obs: dfs.Obs}, nil
+	return &MiniCluster{Engine: eng, Topology: topo, DFS: dfs, MR: mc, RM: rm, Obs: dfs.Obs}, nil
 }
 
 // FS returns a gateway (off-cluster) HDFS client — the login node view.

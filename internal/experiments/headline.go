@@ -14,7 +14,7 @@ import (
 
 // HeadlineIDs lists the experiments that contribute headline metrics, in
 // presentation order.
-var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 // HeadlineMetrics extracts id's headline metrics from a finished run.
 // Metric names ending in "-x" are ratios where >1 means the paper's
@@ -98,6 +98,19 @@ func HeadlineMetrics(id string, r *Result) map[string]float64 {
 			"history-bytes":      float64(res.BytesPersisted),
 			"critical-path-len":  float64(res.CriticalPathLen),
 			"path-work-fraction": res.PathWorkFraction,
+		}
+	case "E12":
+		res := r.Raw.(*E12Result)
+		fifoP99 := res.FIFO.QueueStats("students").P99
+		capP99 := res.Capacity.QueueStats("students").P99
+		return map[string]float64{
+			"apps":                      float64(res.Apps),
+			"students-p99-reduction-x":  float64(fifoP99) / float64(capP99),
+			"students-p99-cap-minutes":  capP99.Minutes(),
+			"students-p99-fifo-minutes": fifoP99.Minutes(),
+			"preemptions":               float64(res.Capacity.Preemptions),
+			"node-hours-saved-x":        res.FIFO.NodeHours / res.Capacity.NodeHours,
+			"cap-makespan-minutes":      res.Capacity.Makespan.Minutes(),
 		}
 	}
 	return nil

@@ -61,6 +61,13 @@ type Job struct {
 	SideFiles []string
 	// Config carries free-form job parameters to tasks.
 	Config map[string]string
+	// Queue names the YARN capacity queue the job is submitted to. Only
+	// the YARN-backed distributed runtime reads it; empty means the
+	// cluster's default queue.
+	Queue string
+	// User is the submitting principal, used for capacity-queue user
+	// limits in YARN mode (default: the HDFS default user).
+	User string
 	// SplitSize overrides the standalone-mode input split size.
 	SplitSize int64
 	// SpillRecords bounds the map-side sort buffer (Hadoop's io.sort.mb,

@@ -15,6 +15,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/sim"
 	"repro/internal/vfs"
+	"repro/internal/yarn"
 )
 
 type taskState int
@@ -64,6 +65,8 @@ type attempt struct {
 	timer       sim.Timer
 	dead        bool
 	tempPath    string // reduce attempts: uncommitted output
+	// container hosts the attempt in YARN mode (nil in slot mode).
+	container *yarn.Container
 
 	cachedID string // interned id(), same pattern as task.cachedID
 }
@@ -106,6 +109,12 @@ type jobRun struct {
 	// hist is the job's history file in the making: every lifecycle event
 	// from submit to finish, persisted into HDFS when the job completes.
 	hist *history.Log
+
+	// YARN mode: the job's application handle plus the outstanding
+	// (unserved) container-request counts syncRequests reconciles.
+	app        *yarn.Application
+	mapReqs    int
+	reduceReqs int
 
 	handle *JobHandle
 }
@@ -151,6 +160,10 @@ type JobTracker struct {
 	jobSeq int
 	faults []TaskFault
 
+	// containerAttempts maps a live container's ID to the attempt running
+	// inside it (YARN mode; lookup-only, never ranged).
+	containerAttempts map[int]*attempt
+
 	// m holds the JobTracker's interned metric handles (see metrics.go);
 	// spans land on the cluster's shared registry.
 	m jtMetrics
@@ -162,10 +175,11 @@ func (jt *JobTracker) TotalTrackerLosses() int { return int(jt.m.trackerLosses.V
 
 func newJobTracker(mc *MRCluster, rng *sim.Rand) *JobTracker {
 	jt := &JobTracker{
-		mc:         mc,
-		rng:        rng,
-		hostToNode: map[string]cluster.NodeID{},
-		m:          newJTMetrics(mc.Obs),
+		mc:                mc,
+		rng:               rng,
+		hostToNode:        map[string]cluster.NodeID{},
+		containerAttempts: map[int]*attempt{},
+		m:                 newJTMetrics(mc.Obs),
 	}
 	for _, n := range mc.Topology.Nodes() {
 		jt.hostToNode[n.Hostname] = n.ID
@@ -209,6 +223,12 @@ func (jt *JobTracker) handleTrackerLoss(tt *TaskTracker) {
 		tt.hbTicker.Stop()
 	}
 	jt.m.trackerLosses.Inc()
+	if jt.yarnMode() {
+		// Drain the node from the RM pool before rescheduling: its
+		// containers are preempted (killing the attempts inside via
+		// OnPreempted) and nothing new lands on the dead node.
+		jt.mc.cfg.YARN.SetNodeActive(tt.id, false)
+	}
 	for _, jr := range jt.jobs {
 		if jr.state != jobRunning {
 			continue
@@ -248,6 +268,7 @@ func (jt *JobTracker) killAttempt(a *attempt, reason string) {
 	a.dead = true
 	a.timer.Cancel()
 	jt.releaseSlot(a)
+	jt.releaseContainer(a, "killed")
 	a.t.removeAttempt(a)
 	if a.tempPath != "" {
 		_ = jt.mc.DFS.Client(a.tt.id).Remove(a.tempPath, false)
@@ -404,6 +425,11 @@ func (jt *JobTracker) submit(job *mapreduce.Job) (*JobHandle, error) {
 		jr.reduces = append(jr.reduces, &task{jr: jr, idx: r})
 	}
 	jr.handle = &JobHandle{jr: jr}
+	if jt.yarnMode() {
+		if err := jt.submitApp(jr); err != nil {
+			return nil, err
+		}
+	}
 	jt.jobs = append(jt.jobs, jr)
 	jt.m.jobsSubmitted.Inc()
 	jt.histEv(jr, history.EvJobSubmit, map[string]string{
@@ -539,6 +565,12 @@ func (jt *JobTracker) localityRank(t *task, tt *TaskTracker) int {
 
 func (jt *JobTracker) schedule() {
 	jt.m.schedulePasses.Inc()
+	if jt.yarnMode() {
+		// YARN mode: no slot loops — reconcile container demand with the
+		// RM; allocations arrive via jtAppMaster.OnAllocated.
+		jt.syncRequests()
+		return
+	}
 	// Map assignment in three locality rounds: first give every free slot
 	// its data-local tasks, then rack-local, then anything. Assigning
 	// strictly by rank keeps a slot from greedily stealing a task that is
@@ -554,7 +586,7 @@ func (jt *JobTracker) schedule() {
 				if best == nil {
 					break
 				}
-				jt.startMapAttempt(best, tt, false)
+				jt.startMapAttempt(best, tt, false, nil)
 			}
 		}
 	}
@@ -582,7 +614,7 @@ func (jt *JobTracker) schedule() {
 			if pick == nil {
 				break
 			}
-			if !jt.startReduceAttempt(pick, tt, false) {
+			if !jt.startReduceAttempt(pick, tt, false, nil) {
 				break
 			}
 		}
@@ -638,7 +670,7 @@ func (jt *JobTracker) pickFault(jr *jobRun, scope TaskScope) *TaskFault {
 
 // --- map attempts ---
 
-func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool) {
+func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool, c *yarn.Container) {
 	jr := t.jr
 	tt.mapSlotsUsed++
 	t.attemptSeq++
@@ -647,6 +679,10 @@ func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool
 		speculative: speculative,
 		locality:    jt.localityRank(t, tt),
 		startedAt:   jt.mc.Engine.Now(),
+		container:   c,
+	}
+	if c != nil {
+		jt.containerAttempts[c.ID] = a
 	}
 	t.attempts = append(t.attempts, a)
 	t.state = taskRunning
@@ -781,6 +817,7 @@ func (jt *JobTracker) completeMapAttempt(a *attempt, out *mapreduce.MapOutput, c
 	if jr.mapsDone == len(jr.maps) && jr.mapsDoneAt == 0 {
 		jr.mapsDoneAt = jt.mc.Engine.Now()
 	}
+	jt.releaseContainer(a, "complete")
 	jt.schedule()
 }
 
@@ -791,6 +828,7 @@ func (jt *JobTracker) failMapAttempt(a *attempt, cause error, crashDaemons bool)
 	}
 	a.dead = true
 	jt.releaseSlot(a)
+	jt.releaseContainer(a, "failed")
 	t.removeAttempt(a)
 	jr.counters.Inc(mapreduce.CtrFailedMaps, 1)
 	jr.counters.Inc(mapreduce.CtrTaskRetries, 1)
@@ -821,7 +859,7 @@ func (jt *JobTracker) failMapAttempt(a *attempt, cause error, crashDaemons bool)
 // startReduceAttempt launches a reduce attempt on tt, reporting whether it
 // actually started (false when map outputs are gone or unfetchable, so the
 // scheduler does not spin re-picking the same task for the same slot).
-func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative bool) bool {
+func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative bool, c *yarn.Container) bool {
 	jr := t.jr
 	// Verify every map output is still reachable; a lost tracker between
 	// map completion and now sends those maps back to pending. An output
@@ -860,6 +898,10 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 		t: t, tt: tt, seq: t.attemptSeq,
 		speculative: speculative,
 		startedAt:   jt.mc.Engine.Now(),
+		container:   c,
+	}
+	if c != nil {
+		jt.containerAttempts[c.ID] = a
 	}
 	t.attempts = append(t.attempts, a)
 	t.state = taskRunning
@@ -1044,6 +1086,7 @@ func (jt *JobTracker) completeReduceAttempt(a *attempt, ctx *mapreduce.TaskConte
 	if a.speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
 	}
+	jt.releaseContainer(a, "complete")
 	if jr.reducesDone == len(jr.reduces) {
 		jt.finishJob(jr)
 	} else {
@@ -1058,6 +1101,7 @@ func (jt *JobTracker) failReduceAttempt(a *attempt, cause error, crashDaemons bo
 	}
 	a.dead = true
 	jt.releaseSlot(a)
+	jt.releaseContainer(a, "failed")
 	t.removeAttempt(a)
 	if a.tempPath != "" {
 		_ = jt.mc.DFS.Client(a.tt.id).Remove(a.tempPath, false)
@@ -1125,11 +1169,11 @@ func (jt *JobTracker) speculate() {
 						continue
 					}
 					if isMap && tt.mapSlotsUsed < jt.mc.cfg.MapSlotsPerNode {
-						jt.startMapAttempt(t, tt, true)
+						jt.startMapAttempt(t, tt, true, nil)
 						break
 					}
 					if !isMap && tt.reduceSlotsUsed < jt.mc.cfg.ReduceSlotsPerNode {
-						jt.startReduceAttempt(t, tt, true)
+						jt.startReduceAttempt(t, tt, true, nil)
 						break
 					}
 				}
@@ -1164,6 +1208,9 @@ func (jt *JobTracker) finishJob(jr *jobRun) {
 	jt.jobSpan(jr, "succeeded")
 	jt.histFinish(jr, "succeeded")
 	jt.persistHistory(jr)
+	if jt.yarnMode() && jr.app != nil {
+		jt.mc.cfg.YARN.FinishApp(jr.app)
+	}
 	jt.schedule()
 }
 
@@ -1191,5 +1238,8 @@ func (jt *JobTracker) failJob(jr *jobRun, cause error) {
 	}
 	jt.histFinish(jr, "failed")
 	jt.persistHistory(jr)
+	if jt.yarnMode() && jr.app != nil {
+		jt.mc.cfg.YARN.FinishApp(jr.app)
+	}
 	jt.schedule()
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/yarn"
 )
 
 // Config tunes the runtime. Zero values take Hadoop-1.x-flavoured defaults.
@@ -64,6 +65,20 @@ type Config struct {
 	// NodeSlowdown multiplies task durations on specific nodes (straggler
 	// injection for the speculative-execution experiments).
 	NodeSlowdown map[cluster.NodeID]float64
+	// YARN, when set, runs the JobTracker as a YARN application: jobs
+	// become managed apps on this capacity ResourceManager (which must be
+	// built over the same engine and topology) and every task attempt
+	// runs inside a negotiated container instead of a per-node slot. See
+	// yarnbridge.go for the semantic differences (speculation disabled,
+	// slot caps replaced by container sizes).
+	YARN *yarn.ResourceManager
+	// DefaultQueue is the capacity queue jobs land in when Job.Queue is
+	// empty (YARN mode only).
+	DefaultQueue string
+	// MapContainer / ReduceContainer size task containers in YARN mode
+	// (defaults 1vc/1024MB and 1vc/2048MB).
+	MapContainer    yarn.Resource
+	ReduceContainer yarn.Resource
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +117,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TrackerExpiry <= 0 {
 		c.TrackerExpiry = 30 * time.Second
+	}
+	if c.YARN != nil {
+		// Preemption is the RM's rebalancing mechanism; a speculative
+		// backup attempt would fight it for containers.
+		c.Speculative = false
+		if c.MapContainer == (yarn.Resource{}) {
+			c.MapContainer = yarn.Resource{VCores: 1, MemoryMB: 1024}
+		}
+		if c.ReduceContainer == (yarn.Resource{}) {
+			c.ReduceContainer = yarn.Resource{VCores: 1, MemoryMB: 2048}
+		}
 	}
 	return c
 }
@@ -207,6 +233,10 @@ type MRCluster struct {
 
 	trackers []*TaskTracker
 	cfg      Config
+	// started flips after construction: tracker (re)starts from then on
+	// also return the node to the YARN pool (initial starts must not, or
+	// they would override the autoscaler's initial pool size).
+	started bool
 
 	// slow holds the current per-node straggler factors; seeded from
 	// Config.NodeSlowdown and mutable at runtime via SetNodeSlowdown.
@@ -240,6 +270,7 @@ func NewMRCluster(dfs *hdfs.MiniDFS, cfg Config, seed int64) *MRCluster {
 		mc.trackers = append(mc.trackers, tt)
 		mc.StartTaskTracker(n.ID)
 	}
+	mc.started = true
 	jt.start()
 	return mc
 }
@@ -276,6 +307,10 @@ func (mc *MRCluster) StartTaskTracker(id cluster.NodeID) {
 			mc.JT.heartbeat(tt)
 		}
 	})
+	if mc.cfg.YARN != nil && mc.started {
+		// A rejoined tracker returns its node to the allocatable pool.
+		mc.cfg.YARN.SetNodeActive(id, true)
+	}
 }
 
 // KillTaskTracker crashes the tracker daemon on a node. Map outputs on the

@@ -8,6 +8,7 @@
 //	/jobtracker  JobTracker status (slots, jobs, per-tracker state)
 //	/fsck        filesystem audit
 //	/topology    the Figure-2 component diagram
+//	/scheduler   YARN ResourceManager status (queues, apps, node pool)
 //	/counters    counters of the most recently completed job
 //	/metrics     the full obs snapshot as JSON (counters, gauges, spans)
 //	/timeline    per-job task-attempt timeline from the recorded spans
@@ -58,6 +59,7 @@ func Handler(c *core.MiniCluster) http.Handler {
   /jobtracker  JobTracker status
   /fsck        filesystem audit
   /topology    component diagram (Figure 2)
+  /scheduler   YARN ResourceManager status (queues, apps, node pool)
   /counters    last completed job's counters
   /metrics     cluster metrics + spans (JSON snapshot)
   /timeline    per-job task-attempt timeline
@@ -74,6 +76,12 @@ func Handler(c *core.MiniCluster) http.Handler {
 	mux.Handle("/dfshealth", text(func() (string, error) { return c.DFS.StatusPage(), nil }))
 	mux.Handle("/jobtracker", text(func() (string, error) { return c.MR.StatusPage(), nil }))
 	mux.Handle("/topology", text(func() (string, error) { return c.RenderTopology(), nil }))
+	mux.Handle("/scheduler", text(func() (string, error) {
+		if c.RM == nil {
+			return "YARN is not enabled on this cluster (set Options.YARN)\n", nil
+		}
+		return c.RM.StatusPage(), nil
+	}))
 	mux.Handle("/fsck", text(func() (string, error) {
 		rep, err := c.Fsck()
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/jobs"
 	"repro/internal/webui"
+	"repro/internal/yarn"
 )
 
 func setup(t *testing.T) *httptest.Server {
@@ -78,6 +79,7 @@ func TestEndpoints(t *testing.T) {
 			"Per-node successful attempts",
 			"Timeline (rebuilt from the history file)",
 		}},
+		{"/scheduler", http.StatusOK, textPlain, []string{"YARN is not enabled"}},
 		{"/history/job_missing_9999", http.StatusNotFound, "", nil},
 		{"/nope", http.StatusNotFound, "", nil},
 	}
@@ -93,6 +95,36 @@ func TestEndpoints(t *testing.T) {
 			if !strings.Contains(body, want) {
 				t.Fatalf("%s missing %q:\n%s", tc.path, want, body)
 			}
+		}
+	}
+}
+
+// TestSchedulerPage runs a job on a YARN-backed cluster and checks the
+// ResourceManager status page renders the queue table and RM counters.
+func TestSchedulerPage(t *testing.T) {
+	c, err := core.New(core.Options{
+		Nodes: 4, Seed: 6,
+		HDFS: hdfs.Config{BlockSize: 64 << 10},
+		YARN: &yarn.CapacityOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := datagen.Text(c.FS(), "/in/corpus.txt", datagen.TextOpts{Lines: 500, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(jobs.WordCount("/in", "/out", true)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(webui.Handler(c))
+	defer srv.Close()
+	code, ct, body := get(t, srv, "/scheduler")
+	if code != http.StatusOK || ct != textPlain {
+		t.Fatalf("/scheduler -> %d %q", code, ct)
+	}
+	for _, want := range []string{"Resource Manager", "Node pool: 4/4 nodes active", "root.default", "Containers launched:"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/scheduler missing %q:\n%s", want, body)
 		}
 	}
 }

@@ -1,0 +1,214 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// This file is the capacity scheduler's allocation engine: a
+// deterministic scheduling pass that hands free containers to the most
+// underserved queue first, plus the built-in task driver that runs plain
+// AppSpec task lists as managed apps.
+
+// kick runs scheduling passes until no more containers can be placed.
+// Re-entrant calls (AppMaster callbacks frequently Request/Release from
+// inside a pass) just mark the pass dirty; the outer loop re-runs until
+// a full pass places nothing and nothing re-dirtied it.
+func (rm *ResourceManager) kick() {
+	if !rm.capacityMode() || rm.inPass {
+		rm.passDirty = true
+		return
+	}
+	rm.inPass = true
+	for {
+		rm.passDirty = false
+		for rm.allocateOne() {
+		}
+		if !rm.passDirty {
+			break
+		}
+	}
+	rm.inPass = false
+	rm.m.pendingApps.Set(int64(rm.pendingApps()))
+}
+
+func (rm *ResourceManager) pendingApps() int {
+	n := 0
+	for _, a := range rm.apps {
+		if a.State == AppPending {
+			n++
+		}
+	}
+	return n
+}
+
+// allocateOne places exactly one container: walk leaves from most
+// underserved (lowest used/guaranteed vcore ratio, ties by path), and
+// within a leaf walk apps in submission order. A pending app's head
+// request is its AM container; a running app's is the front of its
+// request queue. Blocked apps (queue ceiling, user limit, no node with
+// room) are skipped so the pass stays work-conserving. Returns false
+// when nothing anywhere can be placed.
+func (rm *ResourceManager) allocateOne() bool {
+	capNow := rm.ClusterCapacity()
+	leaves := append([]*leafQueue(nil), rm.leaves...)
+	sort.SliceStable(leaves, func(i, j int) bool {
+		ri, rj := leaves[i].usedRatio(capNow), leaves[j].usedRatio(capNow)
+		if ri != rj {
+			return ri < rj
+		}
+		return leaves[i].path < leaves[j].path
+	})
+	for _, q := range leaves {
+		maxAll := q.maxAllowed(capNow)
+		uCap := q.userCap(capNow)
+		for _, app := range q.apps {
+			var res Resource
+			var isAM bool
+			switch {
+			case app.State == AppPending:
+				res, isAM = app.Spec.AMResource, true
+			case app.State == AppRunning && len(app.requests) > 0:
+				res = app.requests[0].Resource
+			default:
+				continue
+			}
+			if !q.used.plus(res).Fits(maxAll) {
+				continue // queue at its elastic ceiling for this size
+			}
+			// User limit: a user already at or past their cap gets
+			// nothing more. A user below it may overshoot by at most one
+			// container (YARN's behaviour), which guarantees progress
+			// even when the cap rounds below a single container.
+			if uu := q.userUsed[app.User]; uu.VCores > 0 && uu.VCores >= uCap.VCores {
+				continue
+			}
+			var nm *nodeManager
+			if isAM {
+				nm = rm.allocate(res)
+			} else {
+				nm = rm.placeFor(app.requests[0])
+			}
+			if nm == nil {
+				continue // no node fits; let a smaller request through
+			}
+			rm.grantContainer(app, q, nm, res, isAM)
+			return true
+		}
+	}
+	return false
+}
+
+// placeFor picks a node for a request: locality hosts in preference
+// order first, then the emptiest node (allocate's spreading policy).
+func (rm *ResourceManager) placeFor(req ContainerRequest) *nodeManager {
+	for _, h := range req.Hosts {
+		for _, nm := range rm.nodes {
+			if nm.active && nm.hostname == h && req.Resource.Fits(nm.free()) {
+				return nm
+			}
+		}
+	}
+	return rm.allocate(req.Resource)
+}
+
+// grantContainer commits one allocation: charge node + queue + user,
+// emit the event, and hand the container to the app's master.
+func (rm *ResourceManager) grantContainer(app *Application, q *leafQueue, nm *nodeManager, res Resource, isAM bool) {
+	rm.containerSeq++
+	c := &Container{
+		ID:        rm.containerSeq,
+		App:       app,
+		Node:      nm.id,
+		Resource:  res,
+		AM:        isAM,
+		StartedAt: rm.eng.Now(),
+	}
+	if isAM {
+		app.amContainer = c
+		app.State = AppRunning
+		app.StartedAt = rm.eng.Now()
+	} else {
+		c.Tag = app.requests[0].Tag
+		app.requests = app.requests[1:]
+		app.containers = append(app.containers, c)
+	}
+	nm.used = nm.used.plus(res)
+	nm.containers = append(nm.containers, c)
+	q.charge(app.User, res)
+	rm.ContainersLaunched++
+	rm.m.containersAllocated.Inc()
+	attrs := map[string]string{
+		"container": c.idStr(),
+		"app":       appID(app),
+		"queue":     q.path,
+		"user":      app.User,
+		"node":      fmt.Sprint(int(nm.id)),
+		"vc":        fmt.Sprint(res.VCores),
+		"mb":        fmt.Sprint(res.MemoryMB),
+	}
+	if isAM {
+		attrs["am"] = "1"
+	} else if c.Tag != "" {
+		attrs["tag"] = c.Tag
+	}
+	rm.event(EvAlloc, attrs)
+	if isAM {
+		rm.event(EvAMStart, map[string]string{
+			"app": appID(app), "container": c.idStr(), "node": fmt.Sprint(int(nm.id)),
+		})
+		return
+	}
+	if app.master != nil {
+		app.master.OnAllocated(c)
+	}
+}
+
+// taskMaster is the built-in AppMaster that drives a plain AppSpec task
+// list through the capacity scheduler: one request per task (tagged with
+// the task index), hold each granted container for the task's duration,
+// re-request on preemption, finish the app when every task has run to
+// completion.
+type taskMaster struct {
+	rm   *ResourceManager
+	app  *Application
+	done int
+}
+
+func (tm *taskMaster) start() {
+	for i, t := range tm.app.Spec.Tasks {
+		tm.rm.Request(tm.app, ContainerRequest{Resource: t.Resource, Tag: strconv.Itoa(i)})
+	}
+}
+
+func (tm *taskMaster) OnAllocated(c *Container) {
+	idx, err := strconv.Atoi(c.Tag)
+	if err != nil || idx < 0 || idx >= len(tm.app.Spec.Tasks) {
+		tm.rm.Release(c, "bad_tag")
+		return
+	}
+	d := tm.app.Spec.Tasks[idx].Duration
+	tm.rm.eng.After(d, func() {
+		if c.Released() {
+			return // preempted (and re-requested) before it could finish
+		}
+		tm.done++
+		tm.rm.Release(c, "complete")
+		if tm.done == len(tm.app.Spec.Tasks) {
+			tm.rm.FinishApp(tm.app)
+		}
+	})
+}
+
+func (tm *taskMaster) OnPreempted(c *Container) {
+	idx, err := strconv.Atoi(c.Tag)
+	if err != nil || idx < 0 || idx >= len(tm.app.Spec.Tasks) {
+		return
+	}
+	// The attempt's work is lost; ask for a fresh container to redo it.
+	tm.rm.Request(tm.app, ContainerRequest{
+		Resource: tm.app.Spec.Tasks[idx].Resource,
+		Tag:      c.Tag,
+	})
+}

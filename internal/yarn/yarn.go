@@ -3,14 +3,25 @@
 // beyond MapReduce's limitations in order to support additional
 // capabilities such as cluster resource manager [YARN]"): a
 // ResourceManager that owns cluster capacity, NodeManagers that host
-// containers, applications that negotiate containers for their tasks, and
-// pluggable FIFO / fair schedulers.
+// containers, applications that negotiate containers for their work, and
+// pluggable scheduling policies.
+//
+// Two generations coexist, mirroring Hadoop's own history:
+//
+//   - The legacy path (NewResourceManager with a FIFO or fair Scheduler)
+//     schedules whole task lists app-greedily — the single-queue world
+//     whose failure mode is the paper's Fall 2012 deadline queue.
+//   - The capacity path (NewCapacityResourceManager) is a real
+//     multi-tenant scheduler: hierarchical capacity queues with user
+//     limits (queue.go), container-level allocation driven by AppMaster
+//     callbacks (this file), deterministic preemption of over-allocated
+//     queues (preempt.go), and an elastic autoscaler over the node pool
+//     (autoscale.go). Every decision lands in a replayable scheduler
+//     event log (events.go) keyed on the sim clock.
 //
 // It runs on the same deterministic sim engine as the rest of the stack,
 // which makes the multi-tenancy question behind the whole paper
-// measurable: what happens when 35 students share one cluster? (With
-// FIFO, the answer is the Fall 2012 deadline queue; with fair sharing,
-// small jobs stop starving.)
+// measurable: what happens when 35 students — or 350 — share one cluster?
 package yarn
 
 import (
@@ -20,6 +31,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -54,8 +67,12 @@ type TaskSpec struct {
 
 // AppSpec describes an application to submit.
 type AppSpec struct {
-	Name  string
-	User  string
+	Name string
+	User string
+	// Queue names the leaf capacity queue (leaf segment or full dotted
+	// path). Ignored by the legacy single-queue path; empty means the
+	// "default" leaf in capacity mode.
+	Queue string
 	Tasks []TaskSpec
 	// AMResource is the master container held for the app's lifetime
 	// (default 1 vcore / 512 MB).
@@ -83,20 +100,93 @@ func (s AppState) String() string {
 	}
 }
 
+// containerState tracks a container through its lifetime.
+type containerState int
+
+const (
+	containerLive containerState = iota
+	containerReleased
+	containerPreempted
+)
+
+// Container is one granted resource lease on a node. The RM creates it
+// at allocation, the owning application works inside it, and it ends by
+// release (work done) or preemption (the RM took it back).
+type Container struct {
+	ID       int
+	App      *Application
+	Node     cluster.NodeID
+	Resource Resource
+	// AM marks the application-master container; AM containers are never
+	// preempted and live until the app finishes.
+	AM bool
+	// Tag echoes the ContainerRequest's tag, so multiplexing AppMasters
+	// (the MapReduce JobTracker) know what they asked this container for.
+	Tag       string
+	StartedAt sim.Time
+
+	state containerState
+}
+
+// Preempted reports whether the RM killed this container to rebalance
+// capacity.
+func (c *Container) Preempted() bool { return c.state == containerPreempted }
+
+// Released reports whether the container has ended (release or preempt).
+func (c *Container) Released() bool { return c.state != containerLive }
+
+func (c *Container) idStr() string { return fmt.Sprintf("c%06d", c.ID) }
+
+// ContainerRequest asks the capacity scheduler for one container.
+type ContainerRequest struct {
+	Resource Resource
+	// Hosts is a locality preference: nodes whose hostname matches are
+	// tried first. Best effort, never a hard constraint.
+	Hosts []string
+	// Tag is opaque to the RM and echoed on the granted Container.
+	Tag string
+}
+
+// AppMaster receives the capacity scheduler's decisions for one app.
+// Implementations must be deterministic: callbacks arrive inside the
+// RM's scheduling pass on the sim thread.
+type AppMaster interface {
+	// OnAllocated hands the app a newly granted container.
+	OnAllocated(c *Container)
+	// OnPreempted tells the app the RM killed the container; whatever
+	// ran inside must be re-attempted (re-request a container).
+	OnPreempted(c *Container)
+}
+
 // Application is a submitted app's live state.
 type Application struct {
 	ID   int
 	Spec AppSpec
+	// Queue is the resolved leaf queue path ("" in legacy mode).
+	Queue string
+	// User is the submitting principal (default "nobody").
+	User string
 
 	State       AppState
 	SubmittedAt sim.Time
 	StartedAt   sim.Time
 	FinishedAt  sim.Time
 
+	// Preemptions counts containers this app lost to preemption.
+	Preemptions int
+
+	// --- legacy-path fields ---
 	amNode        cluster.NodeID
 	nextTask      int
 	runningTasks  int
 	finishedTasks int
+
+	// --- capacity-path fields ---
+	master      AppMaster
+	queue       *leafQueue
+	amContainer *Container
+	containers  []*Container // live task containers, allocation order
+	requests    []ContainerRequest
 }
 
 // WaitTime returns how long the app waited for its first container.
@@ -105,7 +195,25 @@ func (a *Application) WaitTime() time.Duration { return a.StartedAt - a.Submitte
 // Makespan returns submission-to-finish time.
 func (a *Application) Makespan() time.Duration { return a.FinishedAt - a.SubmittedAt }
 
-// Scheduler picks which pending app gets the next free container.
+// Containers returns the app's live task containers in allocation order.
+func (a *Application) Containers() []*Container {
+	return append([]*Container(nil), a.containers...)
+}
+
+// PendingRequests returns the number of outstanding container requests.
+func (a *Application) PendingRequests() int { return len(a.requests) }
+
+func (a *Application) removeContainer(c *Container) {
+	for i, x := range a.containers {
+		if x == c {
+			a.containers = append(a.containers[:i], a.containers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Scheduler picks which pending app gets the next free container (legacy
+// single-queue path).
 type Scheduler interface {
 	Name() string
 	// Pick returns the index into apps of the next app to serve, or -1.
@@ -161,11 +269,37 @@ func (FairScheduler) Pick(apps []*Application) int {
 // nodeManager tracks one node's container capacity.
 type nodeManager struct {
 	id       cluster.NodeID
+	hostname string
 	capacity Resource
 	used     Resource
+	// active nodes accept allocations; the autoscaler parks the rest.
+	active bool
+	// containers live on this node, allocation order (capacity mode).
+	containers []*Container
 }
 
 func (nm *nodeManager) free() Resource { return nm.capacity.minus(nm.used) }
+
+func (nm *nodeManager) removeContainer(c *Container) {
+	for i, x := range nm.containers {
+		if x == c {
+			nm.containers = append(nm.containers[:i], nm.containers[i+1:]...)
+			return
+		}
+	}
+}
+
+// CapacityOptions configures a capacity-mode ResourceManager.
+type CapacityOptions struct {
+	// Queues is the hierarchical queue tree (DefaultQueues() when zero).
+	Queues QueueConfig
+	// Preemption enables and tunes the preemption monitor.
+	Preemption PreemptionConfig
+	// Autoscale enables and tunes the elastic node pool.
+	Autoscale AutoscaleConfig
+	// Obs receives the scheduler's metrics (optional).
+	Obs *obs.Registry
+}
 
 // ResourceManager owns the cluster's resources and runs the scheduler.
 type ResourceManager struct {
@@ -178,69 +312,223 @@ type ResourceManager struct {
 
 	// ContainersLaunched counts all container starts (AM + tasks).
 	ContainersLaunched int
+
+	// --- capacity mode (nil leaves == legacy mode) ---
+	leaves       []*leafQueue
+	preemptCfg   PreemptionConfig
+	autoscaleCfg AutoscaleConfig
+	log          *history.Log
+	m            rmMetrics
+	containerSeq int
+	inPass       bool
+	passDirty    bool
+	preemptions  int
+	appsFinished int
+
+	// autoscaler accounting
+	lastScaleUp     sim.Time
+	lastScaleDown   sim.Time
+	lastAccrue      sim.Time
+	nodeNanoseconds float64
 }
 
-// NewResourceManager builds an RM over the topology; each node's capacity
-// derives from its cores and RAM.
+// NewResourceManager builds a legacy single-queue RM over the topology;
+// each node's capacity derives from its cores and RAM.
 func NewResourceManager(eng *sim.Engine, topo *cluster.Topology, sched Scheduler) *ResourceManager {
 	if sched == nil {
 		sched = FIFOScheduler{}
 	}
 	rm := &ResourceManager{eng: eng, sched: sched}
-	for _, n := range topo.Nodes() {
-		rm.nodes = append(rm.nodes, &nodeManager{
-			id:       n.ID,
-			capacity: Resource{VCores: n.Cores, MemoryMB: n.RAMBytes >> 20},
-		})
-	}
+	rm.initNodes(topo, topo.Len())
 	return rm
 }
 
-// ClusterCapacity returns the summed node capacity.
+// NewCapacityResourceManager builds a multi-tenant RM: hierarchical
+// capacity queues, container-level allocation, preemption and (when
+// enabled) an elastic node pool. The topology is the *maximum* pool; with
+// autoscaling enabled only Autoscale.MinNodes start active.
+func NewCapacityResourceManager(eng *sim.Engine, topo *cluster.Topology, opts CapacityOptions) (*ResourceManager, error) {
+	queues := opts.Queues
+	if queues.Name == "" && len(queues.Children) == 0 {
+		queues = DefaultQueues()
+	}
+	leaves, err := buildLeaves(queues)
+	if err != nil {
+		return nil, err
+	}
+	rm := &ResourceManager{
+		eng:          eng,
+		leaves:       leaves,
+		preemptCfg:   opts.Preemption.withDefaults(),
+		autoscaleCfg: opts.Autoscale.withDefaults(topo.Len()),
+		m:            newRMMetrics(opts.Obs),
+	}
+	rm.log = history.NewLog(rm.m.events)
+	initial := topo.Len()
+	if rm.autoscaleCfg.Enabled {
+		initial = rm.autoscaleCfg.MinNodes
+	}
+	rm.initNodes(topo, initial)
+	rm.logInit()
+	if rm.preemptCfg.Enabled {
+		eng.Every(rm.preemptCfg.Interval, rm.runPreemption)
+	}
+	if rm.autoscaleCfg.Enabled {
+		eng.Every(rm.autoscaleCfg.Interval, rm.runAutoscale)
+	}
+	return rm, nil
+}
+
+func (rm *ResourceManager) initNodes(topo *cluster.Topology, active int) {
+	for i, n := range topo.Nodes() {
+		rm.nodes = append(rm.nodes, &nodeManager{
+			id:       n.ID,
+			hostname: n.Hostname,
+			capacity: Resource{VCores: n.Cores, MemoryMB: n.RAMBytes >> 20},
+			active:   i < active,
+		})
+	}
+	rm.m.activeNodes.Set(int64(active))
+}
+
+// capacityMode reports whether this RM runs the capacity scheduler.
+func (rm *ResourceManager) capacityMode() bool { return rm.leaves != nil }
+
+// ClusterCapacity returns the summed capacity of the active node pool.
 func (rm *ResourceManager) ClusterCapacity() Resource {
+	var total Resource
+	for _, nm := range rm.nodes {
+		if nm.active {
+			total = total.plus(nm.capacity)
+		}
+	}
+	return total
+}
+
+// ActiveNodes returns the size of the active node pool.
+func (rm *ResourceManager) ActiveNodes() int {
+	n := 0
+	for _, nm := range rm.nodes {
+		if nm.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns the fraction of active vcores currently allocated.
+func (rm *ResourceManager) Utilization() float64 {
+	var used, capTotal int
+	for _, nm := range rm.nodes {
+		if !nm.active {
+			continue
+		}
+		used += nm.used.VCores
+		capTotal += nm.capacity.VCores
+	}
+	if capTotal == 0 {
+		return 0
+	}
+	return float64(used) / float64(capTotal)
+}
+
+// Preemptions returns the number of containers killed by preemption.
+func (rm *ResourceManager) Preemptions() int { return rm.preemptions }
+
+// EventLog returns the scheduler's replayable event log (capacity mode;
+// nil-safe in legacy mode: a nil *Log drops everything).
+func (rm *ResourceManager) EventLog() *history.Log { return rm.log }
+
+// Submit registers an application. In legacy mode its AM starts as soon
+// as capacity allows and tasks flow through the pluggable Scheduler; in
+// capacity mode the built-in task driver requests one container per task
+// through the capacity queues.
+func (rm *ResourceManager) Submit(spec AppSpec) (*Application, error) {
+	if len(spec.Tasks) == 0 {
+		return nil, errors.New("yarn: application has no tasks")
+	}
+	if rm.capacityMode() {
+		app, err := rm.SubmitManaged(spec, nil)
+		if err != nil {
+			return nil, err
+		}
+		tm := &taskMaster{rm: rm, app: app}
+		app.master = tm
+		tm.start()
+		return app, nil
+	}
+	if err := rm.validateSpec(&spec); err != nil {
+		return nil, err
+	}
+	rm.next++
+	app := &Application{ID: rm.next, Spec: spec, User: spec.User, SubmittedAt: rm.eng.Now()}
+	rm.apps = append(rm.apps, app)
+	rm.schedule()
+	return app, nil
+}
+
+// SubmitManaged registers an application driven by an external AppMaster
+// (capacity mode only). The RM launches the AM container through the
+// app's queue; the master then negotiates task containers with Request.
+func (rm *ResourceManager) SubmitManaged(spec AppSpec, master AppMaster) (*Application, error) {
+	if !rm.capacityMode() {
+		return nil, errors.New("yarn: SubmitManaged requires a capacity ResourceManager")
+	}
+	if err := rm.validateSpec(&spec); err != nil {
+		return nil, err
+	}
+	q, err := findLeaf(rm.leaves, spec.Queue)
+	if err != nil {
+		return nil, err
+	}
+	if spec.User == "" {
+		spec.User = "nobody"
+	}
+	rm.next++
+	app := &Application{
+		ID:          rm.next,
+		Spec:        spec,
+		Queue:       q.path,
+		User:        spec.User,
+		SubmittedAt: rm.eng.Now(),
+		master:      master,
+		queue:       q,
+	}
+	rm.apps = append(rm.apps, app)
+	q.apps = append(q.apps, app)
+	rm.m.appsSubmitted.Inc()
+	rm.event(EvAppSubmit, map[string]string{
+		"app": appID(app), "name": spec.Name, "queue": q.path, "user": spec.User,
+		"tasks": fmt.Sprint(len(spec.Tasks)),
+	})
+	rm.kick()
+	return app, nil
+}
+
+func (rm *ResourceManager) validateSpec(spec *AppSpec) error {
+	if spec.AMResource == (Resource{}) {
+		spec.AMResource = Resource{VCores: 1, MemoryMB: 512}
+	}
+	capTotal := rm.poolCapacity()
+	if !spec.AMResource.Fits(capTotal) {
+		return fmt.Errorf("yarn: AM container %v exceeds cluster capacity %v", spec.AMResource, capTotal)
+	}
+	for i, tk := range spec.Tasks {
+		if !tk.Resource.Fits(rm.largestNode()) {
+			return fmt.Errorf("yarn: task %d container %v exceeds largest node", i, tk.Resource)
+		}
+	}
+	return nil
+}
+
+// poolCapacity sums the whole pool (active or not): admission control is
+// against what the cluster *could* grow to.
+func (rm *ResourceManager) poolCapacity() Resource {
 	var total Resource
 	for _, nm := range rm.nodes {
 		total = total.plus(nm.capacity)
 	}
 	return total
-}
-
-// Utilization returns the fraction of vcores currently allocated.
-func (rm *ResourceManager) Utilization() float64 {
-	var used, cap int
-	for _, nm := range rm.nodes {
-		used += nm.used.VCores
-		cap += nm.capacity.VCores
-	}
-	if cap == 0 {
-		return 0
-	}
-	return float64(used) / float64(cap)
-}
-
-// Submit registers an application; its AM container starts as soon as
-// capacity allows.
-func (rm *ResourceManager) Submit(spec AppSpec) (*Application, error) {
-	if len(spec.Tasks) == 0 {
-		return nil, errors.New("yarn: application has no tasks")
-	}
-	if spec.AMResource == (Resource{}) {
-		spec.AMResource = Resource{VCores: 1, MemoryMB: 512}
-	}
-	cap := rm.ClusterCapacity()
-	if !spec.AMResource.Fits(cap) {
-		return nil, fmt.Errorf("yarn: AM container %v exceeds cluster capacity %v", spec.AMResource, cap)
-	}
-	for i, tk := range spec.Tasks {
-		if !tk.Resource.Fits(rm.largestNode()) {
-			return nil, fmt.Errorf("yarn: task %d container %v exceeds largest node", i, tk.Resource)
-		}
-	}
-	rm.next++
-	app := &Application{ID: rm.next, Spec: spec, SubmittedAt: rm.eng.Now()}
-	rm.apps = append(rm.apps, app)
-	rm.schedule()
-	return app, nil
 }
 
 func (rm *ResourceManager) largestNode() Resource {
@@ -256,11 +544,179 @@ func (rm *ResourceManager) largestNode() Resource {
 	return max
 }
 
-// allocate finds a node with room for r (most-free-first for spreading).
+// Request asks for one more container for app (capacity mode). The
+// request queues FIFO per app and is served subject to the app's queue
+// capacity and user limit.
+func (rm *ResourceManager) Request(app *Application, req ContainerRequest) {
+	if !rm.capacityMode() || app.State == AppFinished {
+		return
+	}
+	if req.Resource == (Resource{}) {
+		req.Resource = Resource{VCores: 1, MemoryMB: 1024}
+	}
+	app.requests = append(app.requests, req)
+	rm.kick()
+}
+
+// CancelRequests removes up to n outstanding requests with the given tag
+// from the back of app's request queue, returning how many were removed.
+// AppMasters use it to withdraw demand that completed another way.
+func (rm *ResourceManager) CancelRequests(app *Application, tag string, n int) int {
+	removed := 0
+	for i := len(app.requests) - 1; i >= 0 && removed < n; i-- {
+		if app.requests[i].Tag == tag {
+			app.requests = append(app.requests[:i], app.requests[i+1:]...)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Release returns a task container to the pool (capacity mode).
+func (rm *ResourceManager) Release(c *Container, reason string) {
+	if c == nil || c.state != containerLive || c.AM {
+		return
+	}
+	c.state = containerReleased
+	rm.freeContainer(c)
+	rm.m.containersReleased.Inc()
+	rm.event(EvRelease, map[string]string{
+		"container": c.idStr(), "app": appID(c.App), "queue": c.App.Queue,
+		"node": fmt.Sprint(int(c.Node)), "reason": reason,
+	})
+	rm.kick()
+}
+
+// freeContainer removes a container from node, app and queue accounting.
+func (rm *ResourceManager) freeContainer(c *Container) {
+	nm := rm.nodes[c.Node]
+	nm.used = nm.used.minus(c.Resource)
+	nm.removeContainer(c)
+	c.App.removeContainer(c)
+	c.App.queue.uncharge(c.App.User, c.Resource)
+}
+
+// FinishApp marks a managed app complete: leftover containers and the AM
+// are released and the app leaves its queue.
+func (rm *ResourceManager) FinishApp(app *Application) {
+	if !rm.capacityMode() || app.State == AppFinished {
+		return
+	}
+	for _, c := range append([]*Container(nil), app.containers...) {
+		if c.state == containerLive {
+			c.state = containerReleased
+			rm.freeContainer(c)
+			rm.m.containersReleased.Inc()
+			rm.event(EvRelease, map[string]string{
+				"container": c.idStr(), "app": appID(app), "queue": app.Queue,
+				"node": fmt.Sprint(int(c.Node)), "reason": "app_finish",
+			})
+		}
+	}
+	if am := app.amContainer; am != nil && am.state == containerLive {
+		am.state = containerReleased
+		nm := rm.nodes[am.Node]
+		nm.used = nm.used.minus(am.Resource)
+		nm.removeContainer(am)
+		app.queue.uncharge(app.User, am.Resource)
+		rm.m.containersReleased.Inc()
+		rm.event(EvRelease, map[string]string{
+			"container": am.idStr(), "app": appID(app), "queue": app.Queue,
+			"node": fmt.Sprint(int(am.Node)), "reason": "app_finish",
+		})
+	}
+	app.requests = nil
+	app.State = AppFinished
+	app.FinishedAt = rm.eng.Now()
+	app.queue.removeApp(app)
+	rm.appsFinished++
+	rm.m.appsFinished.Inc()
+	rm.event(EvAppFinish, map[string]string{
+		"app": appID(app), "queue": app.Queue,
+		"wait_ns":     fmt.Sprint(int64(app.WaitTime())),
+		"makespan_ns": fmt.Sprint(int64(app.Makespan())),
+	})
+	rm.kick()
+}
+
+// SetNodeActive changes one node's pool membership at runtime — the hook
+// node-level faults use (a dead TaskTracker drains its node). Deactivating
+// a node preempts every container on it; reactivating returns it to the
+// allocatable pool.
+func (rm *ResourceManager) SetNodeActive(id cluster.NodeID, active bool) {
+	if int(id) < 0 || int(id) >= len(rm.nodes) {
+		return
+	}
+	nm := rm.nodes[id]
+	if nm.active == active {
+		return
+	}
+	rm.accrueNodeTime()
+	nm.active = active
+	if active {
+		rm.event(EvNodeUp, map[string]string{
+			"node": fmt.Sprint(int(id)),
+			"vc":   fmt.Sprint(nm.capacity.VCores), "mb": fmt.Sprint(nm.capacity.MemoryMB),
+			"reason": "admin",
+		})
+	} else {
+		// Drain: every container on the node dies and its work re-attempts
+		// elsewhere. AM containers finish the app's admission over again.
+		for _, c := range append([]*Container(nil), nm.containers...) {
+			if c.state != containerLive {
+				continue
+			}
+			if c.AM {
+				app := c.App
+				c.state = containerPreempted
+				nm.used = nm.used.minus(c.Resource)
+				nm.removeContainer(c)
+				app.queue.uncharge(app.User, c.Resource)
+				app.amContainer = nil
+				app.State = AppPending
+				rm.event(EvRelease, map[string]string{
+					"container": c.idStr(), "app": appID(app), "queue": app.Queue,
+					"node": fmt.Sprint(int(nm.id)), "reason": "node_drain",
+				})
+				continue
+			}
+			rm.preemptContainer(c, "")
+		}
+		rm.event(EvNodeDown, map[string]string{
+			"node": fmt.Sprint(int(id)), "reason": "admin",
+		})
+	}
+	rm.m.activeNodes.Set(int64(rm.ActiveNodes()))
+	rm.kick()
+}
+
+// Apps returns all applications in submission order.
+func (rm *ResourceManager) Apps() []*Application {
+	out := append([]*Application(nil), rm.apps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllFinished reports whether every submitted app reached AppFinished.
+func (rm *ResourceManager) AllFinished() bool {
+	for _, a := range rm.apps {
+		if a.State != AppFinished {
+			return false
+		}
+	}
+	return true
+}
+
+func appID(a *Application) string { return fmt.Sprintf("app%05d", a.ID) }
+
+// --- legacy single-queue scheduling (unchanged semantics) ---
+
+// allocate finds an active node with room for r (most-free-first for
+// spreading).
 func (rm *ResourceManager) allocate(r Resource) *nodeManager {
 	var best *nodeManager
 	for _, nm := range rm.nodes {
-		if !r.Fits(nm.free()) {
+		if !nm.active || !r.Fits(nm.free()) {
 			continue
 		}
 		if best == nil || nm.free().VCores > best.free().VCores ||
@@ -271,9 +727,14 @@ func (rm *ResourceManager) allocate(r Resource) *nodeManager {
 	return best
 }
 
-// schedule drives all state transitions: AM launches for pending apps in
-// submit order, then task containers via the pluggable scheduler.
+// schedule drives all legacy-path state transitions: AM launches for
+// pending apps in submit order, then task containers via the pluggable
+// scheduler.
 func (rm *ResourceManager) schedule() {
+	if rm.capacityMode() {
+		rm.kick()
+		return
+	}
 	// Launch ApplicationMasters (FIFO regardless of task scheduler, as in
 	// YARN where the AM itself is a scheduled container).
 	pending := append([]*Application(nil), rm.apps...)
@@ -355,21 +816,4 @@ func (rm *ResourceManager) launchTask(app *Application, task TaskSpec, nm *nodeM
 		}
 		rm.schedule()
 	})
-}
-
-// Apps returns all applications in submission order.
-func (rm *ResourceManager) Apps() []*Application {
-	out := append([]*Application(nil), rm.apps...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// AllFinished reports whether every submitted app reached AppFinished.
-func (rm *ResourceManager) AllFinished() bool {
-	for _, a := range rm.apps {
-		if a.State != AppFinished {
-			return false
-		}
-	}
-	return true
 }
