@@ -36,7 +36,7 @@ check:
 # single-threaded by contract but included so the detector verifies the
 # engine's free-list never leaks events across goroutines in tests.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/... ./internal/iofmt/... ./internal/history/... ./internal/yarn/...
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/faultinject/... ./internal/hdfs/... ./internal/mrcluster/... ./internal/iofmt/... ./internal/history/... ./internal/yarn/... ./internal/kvstore/... ./internal/regionserver/...
 
 chaos: race
 
@@ -44,7 +44,7 @@ chaos: race
 # artifact the tier-2 regression test (TestBenchRegression) diffs against.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
-	$(GO) run ./cmd/benchreport -out BENCH_pr7.json
+	$(GO) run ./cmd/benchreport -out BENCH_pr8.json
 
 # One-iteration benchmark smoke pass — proves every experiment still runs
 # without paying for steady-state timing.
@@ -59,9 +59,9 @@ ci: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/minilint ./internal/... ./cmd/...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/faultinject/... ./internal/iofmt/... ./internal/history/... ./internal/yarn/...
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/faultinject/... ./internal/iofmt/... ./internal/history/... ./internal/yarn/... ./internal/kvstore/... ./internal/regionserver/...
 	$(GO) test -run 'TestGoldenJobHistory|TestGoldenTrace' ./internal/jobs/
-	$(GO) test -run 'TestE12Smoke' ./internal/experiments/
+	$(GO) test -run 'TestE12Smoke|TestE13Smoke' ./internal/experiments/
 	$(GO) test -run '^$$' -fuzz FuzzSeqSplit -fuzztime 5s ./internal/iofmt/
 	$(GO) test -run '^$$' -fuzz FuzzSeqReadCorrupt -fuzztime 5s ./internal/iofmt/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/iofmt/

@@ -88,6 +88,20 @@ var shapeChecks = map[string]map[string][2]float64{
 		"node-hours-saved-x":        {1, math.Inf(1)},    // autoscaling returns idle capacity
 		"cap-makespan-minutes":      {1, math.Inf(1)},
 	},
+	"E13": {
+		"workloada-ops-per-sec":     {1, math.Inf(1)},
+		"workloadc-ops-per-sec":     {1, math.Inf(1)},
+		"workloade-ops-per-sec":     {1, math.Inf(1)},
+		"workloada-p99-ms":          {0, math.Inf(1)},
+		"workloadc-p99-ms":          {0, math.Inf(1)},
+		"workloadc-cache-speedup-x": {1, math.Inf(1)}, // cache wins the read-only mix
+		"workloadb-cache-speedup-x": {1, math.Inf(1)}, // ...and the 95/5 mix
+		"cache-hit-rate":            {0.3, 1},         // Zipf skew makes the cache earn its keep
+		"region-splits":             {1, math.Inf(1)}, // the hot region actually split
+		"recovery-seconds":          {0, 60},          // crash detected + replayed promptly
+		"reassigned-regions":        {1, math.Inf(1)}, // the dead server's regions moved
+		"lost-acked-writes":         {0, 0},           // WAL durability: nothing acked is lost
+	},
 }
 
 func TestBenchRegression(t *testing.T) {

@@ -124,3 +124,9 @@ func BenchmarkE11JobHistory(b *testing.B) { runExperiment(b, "E11", headlines("E
 // the deadline meltdown at 10x enrollment — through FIFO and capacity
 // scheduling and reports the fairness/cost headline metrics.
 func BenchmarkE12Multitenant(b *testing.B) { runExperiment(b, "E12", headlines("E12")) }
+
+// BenchmarkE13Serving sweeps the YCSB core mixes against the region
+// server tier with and without the front-line cache, plus the
+// crash-recovery scenario, and reports ops/sec, tail latency, cache
+// speedup, and recovery headline metrics.
+func BenchmarkE13Serving(b *testing.B) { runExperiment(b, "E13", headlines("E13")) }

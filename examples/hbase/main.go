@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -73,7 +74,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("after reopen (WAL replay): cpsc3620:tool = %s\n", v)
-	if _, err := tbl2.Get("cpsc4240:title"); err != nil {
+	if _, err := tbl2.Get("cpsc4240:title"); errors.Is(err, kvstore.ErrNotFound) {
 		fmt.Println("after reopen: cpsc4240:title is deleted (tombstone replayed)")
 	}
 

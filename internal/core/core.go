@@ -15,6 +15,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/mrcluster"
 	"repro/internal/obs"
+	"repro/internal/regionserver"
 	"repro/internal/shell"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -39,6 +40,11 @@ type Options struct {
 	// and runs the JobTracker as a YARN application: jobs negotiate task
 	// containers through capacity queues instead of per-node slots.
 	YARN *yarn.CapacityOptions
+	// Serving, when set, starts the online-serving tier (region servers +
+	// master) on the cluster nodes, sharing the engine and obs registry.
+	// Region data lives on its own in-memory store, standing in for the
+	// serving tier's HDFS-backed store files.
+	Serving *regionserver.Options
 }
 
 // MiniCluster is a fully assembled simulated Hadoop deployment.
@@ -49,6 +55,9 @@ type MiniCluster struct {
 	MR       *mrcluster.MRCluster
 	// RM is the YARN capacity ResourceManager (nil unless Options.YARN).
 	RM *yarn.ResourceManager
+	// Serving is the online region-server tier (nil unless
+	// Options.Serving).
+	Serving *regionserver.Cluster
 	// Obs is the cluster-wide observability registry: every metric and
 	// span the HDFS and MapReduce layers emit lands here.
 	Obs *obs.Registry
@@ -86,7 +95,18 @@ func New(opts Options) (*MiniCluster, error) {
 		opts.MR.YARN = rm
 	}
 	mc := mrcluster.NewMRCluster(dfs, opts.MR, opts.Seed+1)
-	return &MiniCluster{Engine: eng, Topology: topo, DFS: dfs, MR: mc, RM: rm, Obs: dfs.Obs}, nil
+	var serving *regionserver.Cluster
+	if opts.Serving != nil {
+		sopts := *opts.Serving
+		if sopts.Obs == nil {
+			sopts.Obs = dfs.Obs
+		}
+		serving, err = regionserver.New(eng, vfs.NewMemFS(), topo, sopts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &MiniCluster{Engine: eng, Topology: topo, DFS: dfs, MR: mc, RM: rm, Serving: serving, Obs: dfs.Obs}, nil
 }
 
 // FS returns a gateway (off-cluster) HDFS client — the login node view.

@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestYCSBDeterministic(t *testing.T) {
+	for _, mix := range []string{"a", "b", "c", "e", "f"} {
+		opts := YCSBOpts{Mix: mix, Records: 200, Ops: 500, Seed: 42}
+		a, err := YCSB(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := YCSB(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("mix %s: lengths differ", mix)
+		}
+		for i := range a {
+			if a[i].Type != b[i].Type || a[i].Key != b[i].Key ||
+				a[i].ScanLen != b[i].ScanLen || !bytes.Equal(a[i].Value, b[i].Value) {
+				t.Fatalf("mix %s: op %d differs: %+v vs %+v", mix, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestYCSBMixRatios(t *testing.T) {
+	for mix, want := range ycsbMixes {
+		ops, err := YCSB(YCSBOpts{Mix: mix, Records: 500, Ops: 5000, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]float64{}
+		for _, op := range ops {
+			counts[op.Type]++
+		}
+		n := float64(len(ops))
+		for typ, frac := range map[string]float64{
+			YCSBRead: want.read, YCSBUpdate: want.update,
+			YCSBInsert: want.insert, YCSBScan: want.scan, YCSBRMW: want.rmw,
+		} {
+			got := counts[typ] / n
+			if got < frac-0.03 || got > frac+0.03 {
+				t.Errorf("mix %s: %s fraction %.3f, want %.2f±0.03", mix, typ, got, frac)
+			}
+		}
+	}
+}
+
+func TestYCSBInsertsExtendKeyspace(t *testing.T) {
+	const records = 100
+	ops, err := YCSB(YCSBOpts{Mix: "e", Records: records, Ops: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	next := records
+	scans := 0
+	for _, op := range ops {
+		switch op.Type {
+		case YCSBInsert:
+			if op.Key != YCSBKey(next) {
+				t.Fatalf("insert key %s, want %s", op.Key, YCSBKey(next))
+			}
+			if seen[op.Key] {
+				t.Fatalf("duplicate insert key %s", op.Key)
+			}
+			seen[op.Key] = true
+			next++
+		case YCSBScan:
+			scans++
+			if op.ScanLen < 1 || op.ScanLen > 100 {
+				t.Fatalf("scan len %d out of [1,100]", op.ScanLen)
+			}
+		}
+	}
+	if scans == 0 || next == records {
+		t.Fatalf("workload e produced %d scans, %d inserts", scans, next-records)
+	}
+}
+
+func TestYCSBZipfSkewAndLoad(t *testing.T) {
+	ops, err := YCSB(YCSBOpts{Mix: "c", Records: 1000, Ops: 5000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf over sequential keys: the head of the key range dominates.
+	head := 0
+	for _, op := range ops {
+		if strings.Compare(op.Key, YCSBKey(100)) < 0 {
+			head++
+		}
+	}
+	if frac := float64(head) / float64(len(ops)); frac < 0.5 {
+		t.Errorf("head-100 keys got %.2f of reads, want skew > 0.5", frac)
+	}
+	load := YCSBLoad(50, 64)
+	if len(load) != 50 {
+		t.Fatalf("load size %d", len(load))
+	}
+	for i, op := range load {
+		if op.Type != YCSBInsert || op.Key != YCSBKey(i) || len(op.Value) != 64 {
+			t.Fatalf("load op %d = %+v", i, op)
+		}
+	}
+	if _, err := YCSB(YCSBOpts{Mix: "z"}); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}

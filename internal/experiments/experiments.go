@@ -107,6 +107,7 @@ func Registry() []Spec {
 		{"E10", "File formats and compression: splittable vs whole-stream", E10Formats},
 		{"E11", "Job history & audit: reconstructing a run from its event logs", E11History},
 		{"E12", "Multi-tenant YARN: deadline meltdown at 10x, FIFO vs capacity+preemption", E12Multitenant},
+		{"E13", "Online serving: YCSB mixes on region servers, cache tier, crash recovery", E13Serving},
 	}
 }
 

@@ -15,7 +15,7 @@ const testSeed = 1234
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"FIG1", "FIG2", "T1", "T2", "T3", "T4", "T5",
-		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	specs := Registry()
 	if len(specs) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(specs), len(want))

@@ -14,7 +14,7 @@ import (
 
 // HeadlineIDs lists the experiments that contribute headline metrics, in
 // presentation order.
-var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+var HeadlineIDs = []string{"FIG1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 // HeadlineMetrics extracts id's headline metrics from a finished run.
 // Metric names ending in "-x" are ratios where >1 means the paper's
@@ -111,6 +111,26 @@ func HeadlineMetrics(id string, r *Result) map[string]float64 {
 			"preemptions":               float64(res.Capacity.Preemptions),
 			"node-hours-saved-x":        res.FIFO.NodeHours / res.Capacity.NodeHours,
 			"cap-makespan-minutes":      res.Capacity.Makespan.Minutes(),
+		}
+	case "E13":
+		res := r.Raw.(*E13Result)
+		aPlain := res.Run("a", false)
+		cPlain, cCached := res.Run("c", false), res.Run("c", true)
+		bPlain, bCached := res.Run("b", false), res.Run("b", true)
+		ePlain := res.Run("e", false)
+		return map[string]float64{
+			"workloada-ops-per-sec":     aPlain.OpsPerSec,
+			"workloada-p99-ms":          float64(aPlain.P99.Milliseconds()),
+			"workloadc-ops-per-sec":     cPlain.OpsPerSec,
+			"workloadc-p99-ms":          float64(cPlain.P99.Milliseconds()),
+			"workloade-ops-per-sec":     ePlain.OpsPerSec,
+			"workloadc-cache-speedup-x": cCached.OpsPerSec / cPlain.OpsPerSec,
+			"workloadb-cache-speedup-x": bCached.OpsPerSec / bPlain.OpsPerSec,
+			"cache-hit-rate":            cCached.CacheHitRate,
+			"region-splits":             float64(aPlain.Splits),
+			"recovery-seconds":          res.Crash.RecoverySeconds,
+			"reassigned-regions":        float64(res.Crash.Reassigns),
+			"lost-acked-writes":         float64(res.Crash.LostAckedWrites),
 		}
 	}
 	return nil

@@ -12,11 +12,24 @@ import (
 
 // Target is the running system a plan is injected into. MR may be nil for
 // HDFS-only scenarios; MR-scoped faults (SlowNode, TaskError, the tracker
-// half of crashes) then log as skipped instead of firing.
+// half of crashes) then log as skipped instead of firing. DFS may be nil
+// for serving-only scenarios if Topology is set (AnyNode resolution needs
+// a node pool); DFS-scoped faults then log as skipped. Serving, when set,
+// receives the server half of NodeCrash/NodeRestart.
 type Target struct {
-	Engine *sim.Engine
-	DFS    *hdfs.MiniDFS
-	MR     *mrcluster.MRCluster
+	Engine   *sim.Engine
+	DFS      *hdfs.MiniDFS
+	MR       *mrcluster.MRCluster
+	Topology *cluster.Topology
+	Serving  Serving
+}
+
+// Serving is the hook a region-serving tier implements so NodeCrash and
+// NodeRestart reach its servers. Both report whether a server lives on
+// the node (the injector logs a miss rather than failing).
+type Serving interface {
+	CrashServerOn(cluster.NodeID) bool
+	RestartServerOn(cluster.NodeID) bool
 }
 
 // Event records one executed fault. The log is the replay fingerprint: two
@@ -49,8 +62,8 @@ type Injector struct {
 // derived from Plan.Seed alone, so every AnyNode resolution and
 // corrupt-block pick replays identically run to run.
 func New(tgt Target, plan Plan) (*Injector, error) {
-	if tgt.Engine == nil || tgt.DFS == nil {
-		return nil, fmt.Errorf("faultinject: target needs Engine and DFS")
+	if tgt.Engine == nil || (tgt.DFS == nil && tgt.Topology == nil) {
+		return nil, fmt.Errorf("faultinject: target needs Engine and one of DFS or Topology")
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
@@ -104,7 +117,11 @@ func (in *Injector) resolveNode(f Fault) cluster.NodeID {
 	if f.Node != AnyNode {
 		return f.Node
 	}
-	nodes := in.tgt.DFS.Topology.Nodes()
+	topo := in.tgt.Topology
+	if in.tgt.DFS != nil {
+		topo = in.tgt.DFS.Topology
+	}
+	nodes := topo.Nodes()
 	return nodes[in.rng.Choice(len(nodes))].ID
 }
 
@@ -112,23 +129,47 @@ func (in *Injector) apply(f Fault) {
 	switch f.Kind {
 	case NodeCrash:
 		id := in.resolveNode(f)
-		in.tgt.DFS.DataNode(id).Kill()
+		var hit []string
+		if in.tgt.DFS != nil {
+			in.tgt.DFS.DataNode(id).Kill()
+			hit = append(hit, "datanode")
+		}
 		if in.tgt.MR != nil {
 			in.tgt.MR.KillTaskTracker(id)
-			in.logf(f, id, "killed datanode+tasktracker")
-		} else {
-			in.logf(f, id, "killed datanode")
+			hit = append(hit, "tasktracker")
 		}
+		if in.tgt.Serving != nil && in.tgt.Serving.CrashServerOn(id) {
+			hit = append(hit, "regionserver")
+		}
+		if len(hit) == 0 {
+			in.logf(f, id, "no daemons on node")
+			return
+		}
+		in.logf(f, id, "killed %s", strings.Join(hit, "+"))
 	case NodeRestart:
 		id := in.resolveNode(f)
-		in.tgt.DFS.DataNode(id).Start()
+		var hit []string
+		if in.tgt.DFS != nil {
+			in.tgt.DFS.DataNode(id).Start()
+			hit = append(hit, "datanode")
+		}
 		if in.tgt.MR != nil {
 			in.tgt.MR.StartTaskTracker(id)
-			in.logf(f, id, "restarted datanode+tasktracker")
-		} else {
-			in.logf(f, id, "restarted datanode")
+			hit = append(hit, "tasktracker")
 		}
+		if in.tgt.Serving != nil && in.tgt.Serving.RestartServerOn(id) {
+			hit = append(hit, "regionserver")
+		}
+		if len(hit) == 0 {
+			in.logf(f, id, "no daemons on node")
+			return
+		}
+		in.logf(f, id, "restarted %s", strings.Join(hit, "+"))
 	case DiskCorruptBlock:
+		if in.tgt.DFS == nil {
+			in.logf(f, AnyNode, "skipped (no DFS target)")
+			return
+		}
 		id := in.resolveNode(f)
 		dn := in.tgt.DFS.DataNode(id)
 		ids := dn.BlockIDs()
@@ -153,6 +194,10 @@ func (in *Injector) apply(f Fault) {
 		in.tgt.MR.SetNodeSlowdown(id, f.Factor)
 		in.logf(f, id, "slowdown x%.2f", f.Factor)
 	case NetPartition:
+		if in.tgt.DFS == nil {
+			in.logf(f, AnyNode, "skipped (no DFS target)")
+			return
+		}
 		if f.RackScoped {
 			n := in.tgt.DFS.Net.IsolateRack(f.Rack)
 			in.logf(f, AnyNode, "isolated rack %d (%d nodes)", f.Rack, n)
@@ -162,9 +207,17 @@ func (in *Injector) apply(f Fault) {
 		in.tgt.DFS.Net.Isolate(id)
 		in.logf(f, id, "isolated node")
 	case NetHeal:
+		if in.tgt.DFS == nil {
+			in.logf(f, AnyNode, "skipped (no DFS target)")
+			return
+		}
 		in.tgt.DFS.Net.Heal()
 		in.logf(f, AnyNode, "healed network")
 	case HeartbeatDrop:
+		if in.tgt.DFS == nil {
+			in.logf(f, AnyNode, "skipped (no DFS target)")
+			return
+		}
 		id := in.resolveNode(f)
 		in.tgt.DFS.DataNode(id).DropHeartbeatsFor(f.Window)
 		detail := "muted datanode heartbeats"

@@ -8,6 +8,19 @@
 // MemStore and store files, tombstone deletes, minor compaction, and
 // range scans — over any vfs.FileSystem, so a table survives whatever
 // the underlying DFS survives.
+//
+// The store is the storage engine of the online serving tier
+// (internal/regionserver): a region is one Table hosting a contiguous
+// row-key range. Serving-scale demands shape two mechanisms here:
+//
+//   - The WAL is a directory of capped segment files (vfs has no append
+//     mode, so an append rewrites a file — capping the segment bounds
+//     the rewrite at WALSegmentBytes instead of the whole log).
+//     Recovery replays segments in order and tolerates a torn final
+//     record, the crash-mid-append case.
+//   - Store files parse once into an in-memory file cache (the block
+//     cache at teaching scale), so point reads cost a binary search,
+//     not a re-read of every HFile.
 package kvstore
 
 import (
@@ -16,15 +29,73 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
 // ErrNotFound is returned by Get for absent (or deleted) keys.
 var ErrNotFound = errors.New("kvstore: key not found")
+
+// Metric names emitted when a table is given an obs registry. The full
+// taxonomy is documented in docs/OBSERVABILITY.md.
+const (
+	MetricPuts           = "kv.puts"
+	MetricDeletes        = "kv.deletes"
+	MetricGets           = "kv.gets"
+	MetricScans          = "kv.scans"
+	MetricFlushes        = "kv.flushes"
+	MetricFlushBytes     = "kv.flush_bytes"
+	MetricCompactions    = "kv.compactions"
+	MetricCompactBytes   = "kv.compact_bytes"
+	MetricWALAppends     = "kv.wal_appends"
+	MetricWALBytes       = "kv.wal_bytes"
+	MetricWALReplayed    = "kv.wal_replayed_records"
+	MetricWALTornDrops   = "kv.wal_torn_drops"
+	MetricBulkLoads      = "kv.bulk_loads"
+	MetricStoreFileReads = "kv.store_file_reads"
+)
+
+// kvMetrics holds a table's interned metric handles (all nil-safe).
+type kvMetrics struct {
+	puts           *obs.Counter
+	deletes        *obs.Counter
+	gets           *obs.Counter
+	scans          *obs.Counter
+	flushes        *obs.Counter
+	flushBytes     *obs.Counter
+	compactions    *obs.Counter
+	compactBytes   *obs.Counter
+	walAppends     *obs.Counter
+	walBytes       *obs.Counter
+	walReplayed    *obs.Counter
+	walTornDrops   *obs.Counter
+	bulkLoads      *obs.Counter
+	storeFileReads *obs.Counter
+}
+
+func newKVMetrics(r *obs.Registry) kvMetrics {
+	return kvMetrics{
+		puts:           r.Counter(MetricPuts),
+		deletes:        r.Counter(MetricDeletes),
+		gets:           r.Counter(MetricGets),
+		scans:          r.Counter(MetricScans),
+		flushes:        r.Counter(MetricFlushes),
+		flushBytes:     r.Counter(MetricFlushBytes),
+		compactions:    r.Counter(MetricCompactions),
+		compactBytes:   r.Counter(MetricCompactBytes),
+		walAppends:     r.Counter(MetricWALAppends),
+		walBytes:       r.Counter(MetricWALBytes),
+		walReplayed:    r.Counter(MetricWALReplayed),
+		walTornDrops:   r.Counter(MetricWALTornDrops),
+		bulkLoads:      r.Counter(MetricBulkLoads),
+		storeFileReads: r.Counter(MetricStoreFileReads),
+	}
+}
 
 // Config tunes a table.
 type Config struct {
@@ -34,6 +105,13 @@ type Config struct {
 	// CompactTrigger is the store-file count that triggers a minor
 	// compaction (default 4).
 	CompactTrigger int
+	// WALSegmentBytes caps one WAL segment file (default 8 KiB). vfs has
+	// no append mode, so appending a record rewrites the current segment;
+	// the cap bounds that rewrite, making per-mutation I/O O(segment)
+	// instead of O(whole log).
+	WALSegmentBytes int64
+	// Obs, when set, receives the table's kv.* metric stream.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactTrigger <= 0 {
 		c.CompactTrigger = 4
+	}
+	if c.WALSegmentBytes <= 0 {
+		c.WALSegmentBytes = 8 << 10
 	}
 	return c
 }
@@ -56,17 +137,31 @@ type cell struct {
 // Table is one HBase-style table rooted at a directory of the backing
 // filesystem:
 //
-//	<root>/wal            append-only write-ahead log
+//	<root>/wal.d/NNNNNN   capped write-ahead-log segments
 //	<root>/hfiles/NNNNNN  sorted immutable store files
 type Table struct {
 	fs   vfs.FileSystem
 	root string
 	cfg  Config
+	m    kvMetrics
 
 	mem      map[string]cell
 	memBytes int64
 	seq      uint64
 	nextFile int
+
+	// files is the in-memory list of store-file paths, oldest first,
+	// kept in sync with the hfiles directory; fileCache holds their
+	// parsed, sorted entries (invalidated when a file is removed).
+	files     []string
+	fileCache map[string][]entry
+	diskBytes int64
+
+	// walSeg is the current WAL segment number; walBuf mirrors the
+	// current segment's content so an append rewrites it without a
+	// read-back.
+	walSeg int
+	walBuf []byte
 
 	// Flushes and Compactions count maintenance operations for tests and
 	// the lecture demo.
@@ -77,20 +172,27 @@ type Table struct {
 // Open creates or reopens a table at root. Reopening replays the WAL into
 // the MemStore and discovers existing store files — the recovery path.
 func Open(fs vfs.FileSystem, root string, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
 	t := &Table{
-		fs:   fs,
-		root: vfs.Clean(root),
-		cfg:  cfg.withDefaults(),
-		mem:  map[string]cell{},
+		fs:        fs,
+		root:      vfs.Clean(root),
+		cfg:       cfg,
+		m:         newKVMetrics(cfg.Obs),
+		mem:       map[string]cell{},
+		fileCache: map[string][]entry{},
 	}
 	if err := fs.Mkdir(t.hfileDir()); err != nil {
 		return nil, err
 	}
-	files, err := t.storeFiles()
+	if err := fs.Mkdir(t.walDir()); err != nil {
+		return nil, err
+	}
+	files, sizes, err := t.listStoreFiles()
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range files {
+	t.files = files
+	for i, f := range files {
 		n, err := fileNumber(f)
 		if err != nil {
 			return nil, err
@@ -98,6 +200,7 @@ func Open(fs vfs.FileSystem, root string, cfg Config) (*Table, error) {
 		if n >= t.nextFile {
 			t.nextFile = n + 1
 		}
+		t.diskBytes += sizes[i]
 		// Track the highest sequence number present in store files.
 		entries, err := t.readStoreFile(f)
 		if err != nil {
@@ -115,47 +218,65 @@ func Open(fs vfs.FileSystem, root string, cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func (t *Table) walPath() string  { return vfs.Join(t.root, "wal") }
+func (t *Table) walDir() string   { return vfs.Join(t.root, "wal.d") }
 func (t *Table) hfileDir() string { return vfs.Join(t.root, "hfiles") }
+
+func (t *Table) walSegPath(n int) string {
+	return vfs.Join(t.walDir(), fmt.Sprintf("%06d", n))
+}
 
 func fileNumber(path string) (int, error) {
 	_, name := vfs.Split(path)
 	return strconv.Atoi(name)
 }
 
-// storeFiles lists store file paths, oldest first.
-func (t *Table) storeFiles() ([]string, error) {
+// listStoreFiles lists store file paths and sizes from the filesystem,
+// oldest first. Only Open uses it; afterwards t.files is authoritative.
+func (t *Table) listStoreFiles() ([]string, []int64, error) {
 	infos, err := t.fs.List(t.hfileDir())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var out []string
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Path < infos[j].Path })
+	var paths []string
+	var sizes []int64
 	for _, fi := range infos {
 		if !fi.IsDir {
-			out = append(out, fi.Path)
+			paths = append(paths, fi.Path)
+			sizes = append(sizes, fi.Size)
 		}
 	}
-	sort.Strings(out)
-	return out, nil
+	return paths, sizes, nil
 }
 
 // --- WAL ---
 
 // walRecord is one logged mutation, encoded as a single text line:
-// seq <TAB> P|D <TAB> b64(key) <TAB> b64(value)
+// seq <TAB> P|D <TAB> b64(key) <TAB> b64(value) <TAB> crc32
+// The trailing checksum is what makes a torn record (a crash mid-append)
+// reliably detectable: a truncated base64 field can still decode, but it
+// cannot still match the CRC.
 func walLine(seq uint64, key string, c cell) string {
 	op := "P"
 	if c.tombstone {
 		op = "D"
 	}
-	return fmt.Sprintf("%d\t%s\t%s\t%s\n", seq, op,
+	return fmt.Sprintf("%d\t%s\t%s\t%s\t%d\n", seq, op,
 		base64.StdEncoding.EncodeToString([]byte(key)),
-		base64.StdEncoding.EncodeToString(c.value))
+		base64.StdEncoding.EncodeToString(c.value),
+		walCRC(seq, op, key, c.value))
+}
+
+func walCRC(seq uint64, op, key string, value []byte) uint32 {
+	h := crc32.NewIEEE()
+	fmt.Fprintf(h, "%d|%s|%s|", seq, op, key)
+	h.Write(value)
+	return h.Sum32()
 }
 
 func parseWALLine(line string) (key string, c cell, err error) {
 	f := strings.Split(line, "\t")
-	if len(f) != 4 {
+	if len(f) != 5 {
 		return "", cell{}, fmt.Errorf("kvstore: bad wal line %q", line)
 	}
 	seq, err := strconv.ParseUint(f[0], 10, 64)
@@ -170,49 +291,131 @@ func parseWALLine(line string) (key string, c cell, err error) {
 	if err != nil {
 		return "", cell{}, err
 	}
+	crc, err := strconv.ParseUint(f[4], 10, 32)
+	if err != nil {
+		return "", cell{}, err
+	}
+	if uint32(crc) != walCRC(seq, f[1], string(kb), vb) {
+		return "", cell{}, fmt.Errorf("kvstore: wal record checksum mismatch")
+	}
 	return string(kb), cell{seq: seq, value: vb, tombstone: f[1] == "D"}, nil
 }
 
-// appendWAL rewrites the WAL with the new record appended. (vfs has no
-// append mode; the WAL is small — it is truncated at every flush.)
+// appendWAL appends one record to the current segment, rewriting only
+// that segment (bounded by WALSegmentBytes), and rolls to a fresh
+// segment once the cap is reached.
 func (t *Table) appendWAL(line string) error {
-	var existing []byte
-	if vfs.Exists(t.fs, t.walPath()) {
-		data, err := vfs.ReadFile(t.fs, t.walPath())
-		if err != nil {
-			return err
-		}
-		existing = data
-		if err := t.fs.Remove(t.walPath(), false); err != nil {
+	t.walBuf = append(t.walBuf, line...)
+	path := t.walSegPath(t.walSeg)
+	if vfs.Exists(t.fs, path) {
+		if err := t.fs.Remove(path, false); err != nil {
 			return err
 		}
 	}
-	return vfs.WriteFile(t.fs, t.walPath(), append(existing, line...))
+	if err := vfs.WriteFile(t.fs, path, t.walBuf); err != nil {
+		return err
+	}
+	t.m.walAppends.Inc()
+	t.m.walBytes.Add(int64(len(line)))
+	if int64(len(t.walBuf)) >= t.cfg.WALSegmentBytes {
+		t.walSeg++
+		t.walBuf = nil
+	}
+	return nil
 }
 
-func (t *Table) replayWAL() error {
-	if !vfs.Exists(t.fs, t.walPath()) {
-		return nil
+// walSegments lists WAL segment paths in replay order.
+func (t *Table) walSegments() ([]string, error) {
+	infos, err := t.fs.List(t.walDir())
+	if err != nil {
+		return nil, err
 	}
-	data, err := vfs.ReadFile(t.fs, t.walPath())
+	var segs []string
+	for _, fi := range infos {
+		if !fi.IsDir {
+			segs = append(segs, fi.Path)
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// replayWAL applies every WAL segment, in order, into the MemStore. The
+// trailing newline is a record's commit point: a final record left
+// unterminated or failing its CRC — the torn tail a crash mid-append
+// leaves behind — is dropped and counted. Anywhere else, a bad record is
+// fatal (corruption, not truncation).
+func (t *Table) replayWAL() error {
+	var sources [][]byte
+	segs, err := t.walSegments()
 	if err != nil {
 		return err
 	}
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	for sc.Scan() {
-		if sc.Text() == "" {
-			continue
-		}
-		key, c, err := parseWALLine(sc.Text())
+	for _, seg := range segs {
+		data, err := vfs.ReadFile(t.fs, seg)
 		if err != nil {
 			return err
 		}
-		t.applyToMem(key, c)
-		if c.seq > t.seq {
-			t.seq = c.seq
+		sources = append(sources, data)
+		n, err := fileNumber(seg)
+		if err != nil {
+			return err
+		}
+		if n >= t.walSeg {
+			t.walSeg = n + 1
 		}
 	}
-	return sc.Err()
+	for si, data := range sources {
+		last := si == len(sources)-1
+		if last && len(data) > 0 && data[len(data)-1] != '\n' {
+			// Unterminated tail record: never committed, drop it.
+			data = data[:bytes.LastIndexByte(data, '\n')+1]
+			t.m.walTornDrops.Inc()
+		}
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		var lines []string
+		for sc.Scan() {
+			if sc.Text() != "" {
+				lines = append(lines, sc.Text())
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		for li, line := range lines {
+			key, c, err := parseWALLine(line)
+			if err != nil {
+				if last && li == len(lines)-1 {
+					t.m.walTornDrops.Inc()
+					continue
+				}
+				return err
+			}
+			t.applyToMem(key, c)
+			t.m.walReplayed.Inc()
+			if c.seq > t.seq {
+				t.seq = c.seq
+			}
+		}
+	}
+	return nil
+}
+
+// truncateWAL removes every WAL segment after a flush has made their
+// records durable in a store file.
+func (t *Table) truncateWAL() error {
+	segs, err := t.walSegments()
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := t.fs.Remove(seg, false); err != nil {
+			return err
+		}
+	}
+	t.walSeg = 0
+	t.walBuf = nil
+	return nil
 }
 
 func (t *Table) applyToMem(key string, c cell) {
@@ -236,6 +439,7 @@ func (t *Table) Put(key string, value []byte) error {
 		return err
 	}
 	t.applyToMem(key, c)
+	t.m.puts.Inc()
 	return t.maybeFlush()
 }
 
@@ -247,6 +451,7 @@ func (t *Table) Delete(key string) error {
 		return err
 	}
 	t.applyToMem(key, c)
+	t.m.deletes.Inc()
 	return t.maybeFlush()
 }
 
@@ -276,37 +481,47 @@ func (t *Table) Flush() error {
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 	path := vfs.Join(t.hfileDir(), fmt.Sprintf("%06d", t.nextFile))
-	if err := t.writeStoreFile(path, entries); err != nil {
+	n, err := t.writeStoreFile(path, entries)
+	if err != nil {
 		return err
 	}
 	t.nextFile++
 	t.mem = map[string]cell{}
 	t.memBytes = 0
-	if vfs.Exists(t.fs, t.walPath()) {
-		if err := t.fs.Remove(t.walPath(), false); err != nil {
-			return err
-		}
-	}
-	t.Flushes++
-	files, err := t.storeFiles()
-	if err != nil {
+	if err := t.truncateWAL(); err != nil {
 		return err
 	}
-	if len(files) >= t.cfg.CompactTrigger {
+	t.Flushes++
+	t.m.flushes.Inc()
+	t.m.flushBytes.Add(n)
+	if len(t.files) >= t.cfg.CompactTrigger {
 		return t.Compact()
 	}
 	return nil
 }
 
-func (t *Table) writeStoreFile(path string, entries []entry) error {
+// writeStoreFile persists sorted entries as a new store file, updating
+// the file list, file cache and disk accounting.
+func (t *Table) writeStoreFile(path string, entries []entry) (int64, error) {
 	var buf bytes.Buffer
 	for _, e := range entries {
 		buf.WriteString(walLine(e.cell.seq, e.key, e.cell))
 	}
-	return vfs.WriteFile(t.fs, path, buf.Bytes())
+	if err := vfs.WriteFile(t.fs, path, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	t.files = append(t.files, path)
+	t.fileCache[path] = entries
+	t.diskBytes += int64(buf.Len())
+	return int64(buf.Len()), nil
 }
 
+// readStoreFile returns a store file's sorted entries, parsing it at
+// most once (the file cache).
 func (t *Table) readStoreFile(path string) ([]entry, error) {
+	if entries, ok := t.fileCache[path]; ok {
+		return entries, nil
+	}
 	data, err := vfs.ReadFile(t.fs, path)
 	if err != nil {
 		return nil, err
@@ -323,16 +538,42 @@ func (t *Table) readStoreFile(path string) ([]entry, error) {
 		}
 		out = append(out, entry{key, c})
 	}
-	return out, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.fileCache[path] = out
+	t.m.storeFileReads.Inc()
+	return out, nil
+}
+
+// removeStoreFiles deletes the named store files and their cache and
+// accounting entries.
+func (t *Table) removeStoreFiles(paths []string) error {
+	drop := map[string]bool{}
+	for _, f := range paths {
+		if err := t.fs.Remove(f, false); err != nil {
+			return err
+		}
+		for _, e := range t.fileCache[f] {
+			t.diskBytes -= int64(len(walLine(e.cell.seq, e.key, e.cell)))
+		}
+		delete(t.fileCache, f)
+		drop[f] = true
+	}
+	keep := t.files[:0]
+	for _, f := range t.files {
+		if !drop[f] {
+			keep = append(keep, f)
+		}
+	}
+	t.files = keep
+	return nil
 }
 
 // Compact merges all store files into one, dropping overwritten versions
 // and tombstoned keys (a major compaction at teaching scale).
 func (t *Table) Compact() error {
-	files, err := t.storeFiles()
-	if err != nil {
-		return err
-	}
+	files := append([]string(nil), t.files...)
 	if len(files) <= 1 {
 		return nil
 	}
@@ -356,17 +597,45 @@ func (t *Table) Compact() error {
 		merged = append(merged, entry{k, c})
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	if err := t.removeStoreFiles(files); err != nil {
+		return err
+	}
 	path := vfs.Join(t.hfileDir(), fmt.Sprintf("%06d", t.nextFile))
-	if err := t.writeStoreFile(path, merged); err != nil {
+	n, err := t.writeStoreFile(path, merged)
+	if err != nil {
 		return err
 	}
 	t.nextFile++
-	for _, f := range files {
-		if err := t.fs.Remove(f, false); err != nil {
-			return err
-		}
-	}
 	t.Compactions++
+	t.m.compactions.Inc()
+	t.m.compactBytes.Add(n)
+	return nil
+}
+
+// BulkLoad writes kvs directly as one sorted store file, bypassing the
+// WAL and MemStore — the bulk-import path dataset loads and region
+// splits/merges use. Keys within kvs must be unique; later sequence
+// numbers are assigned in slice order after sorting by key.
+func (t *Table) BulkLoad(kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	sorted := append([]KV(nil), kvs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	entries := make([]entry, len(sorted))
+	for i, kv := range sorted {
+		t.seq++
+		entries[i] = entry{kv.Key, cell{seq: t.seq, value: append([]byte(nil), kv.Value...)}}
+	}
+	path := vfs.Join(t.hfileDir(), fmt.Sprintf("%06d", t.nextFile))
+	if _, err := t.writeStoreFile(path, entries); err != nil {
+		return err
+	}
+	t.nextFile++
+	t.m.bulkLoads.Inc()
+	if len(t.files) >= t.cfg.CompactTrigger {
+		return t.Compact()
+	}
 	return nil
 }
 
@@ -374,6 +643,7 @@ func (t *Table) Compact() error {
 
 // Get returns the newest value for key, or ErrNotFound.
 func (t *Table) Get(key string) ([]byte, error) {
+	t.m.gets.Inc()
 	best, ok := t.lookup(key)
 	if !ok || best.tombstone {
 		return nil, ErrNotFound
@@ -387,11 +657,7 @@ func (t *Table) lookup(key string) (cell, bool) {
 	if c, ok := t.mem[key]; ok {
 		best, found = c, true
 	}
-	files, err := t.storeFiles()
-	if err != nil {
-		return cell{}, false
-	}
-	for _, f := range files {
+	for _, f := range t.files {
 		entries, err := t.readStoreFile(f)
 		if err != nil {
 			continue
@@ -412,44 +678,122 @@ type KV struct {
 	Value []byte
 }
 
-// Scan returns live key-value pairs with startKey <= key < endKey
-// (endKey "" = unbounded), in key order, merging MemStore and all store
-// files with newest-version-wins semantics.
-func (t *Table) Scan(startKey, endKey string) ([]KV, error) {
-	newest := map[string]cell{}
-	consider := func(key string, c cell) {
-		if key < startKey || (endKey != "" && key >= endKey) {
-			return
+// ScanRange returns up to limit live key-value pairs with
+// startKey <= key < endKey (endKey "" = unbounded), in key order,
+// merging MemStore and store files with newest-version-wins semantics —
+// without materializing the whole range. limit <= 0 means unlimited.
+//
+// The second result is the resume cursor: pass it as the next call's
+// startKey to continue the scan; "" means the range is exhausted. This
+// is the bounded iterator region scans and splits run on.
+func (t *Table) ScanRange(startKey, endKey string, limit int) ([]KV, string, error) {
+	t.m.scans.Inc()
+	// Sources: the MemStore's in-range keys (collected then sorted) and
+	// each store file positioned at startKey by binary search.
+	inRange := func(k string) bool {
+		return k >= startKey && (endKey == "" || k < endKey)
+	}
+	var sources [][]entry
+	if len(t.mem) > 0 {
+		var memEntries []entry
+		for k, c := range t.mem {
+			if inRange(k) {
+				memEntries = append(memEntries, entry{k, c})
+			}
 		}
-		if cur, ok := newest[key]; !ok || c.seq > cur.seq {
-			newest[key] = c
+		sort.Slice(memEntries, func(i, j int) bool { return memEntries[i].key < memEntries[j].key })
+		if len(memEntries) > 0 {
+			sources = append(sources, memEntries)
 		}
 	}
-	files, err := t.storeFiles()
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range files {
+	for _, f := range t.files {
 		entries, err := t.readStoreFile(f)
+		if err != nil {
+			return nil, "", err
+		}
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].key >= startKey })
+		if i < len(entries) && inRange(entries[i].key) {
+			sources = append(sources, entries[i:])
+		}
+	}
+	heads := make([]int, len(sources))
+	var out []KV
+	for {
+		// Find the smallest key across source heads.
+		minKey := ""
+		for s, src := range sources {
+			if heads[s] >= len(src) || !inRange(src[heads[s]].key) {
+				continue
+			}
+			if k := src[heads[s]].key; minKey == "" || k < minKey {
+				minKey = k
+			}
+		}
+		if minKey == "" {
+			return out, "", nil // every source exhausted within the range
+		}
+		// Resolve the newest cell for minKey, advancing every source
+		// positioned on it.
+		var best cell
+		for s, src := range sources {
+			if heads[s] < len(src) && src[heads[s]].key == minKey {
+				if c := src[heads[s]].cell; c.seq > best.seq {
+					best = c
+				}
+				heads[s]++
+			}
+		}
+		if !best.tombstone {
+			out = append(out, KV{Key: minKey, Value: append([]byte(nil), best.value...)})
+			if limit > 0 && len(out) >= limit {
+				return out, minKey + "\x00", nil
+			}
+		}
+	}
+}
+
+// Scan returns all live key-value pairs with startKey <= key < endKey
+// (endKey "" = unbounded), in key order. It is a wrapper that drains
+// ScanRange.
+func (t *Table) Scan(startKey, endKey string) ([]KV, error) {
+	var out []KV
+	cur := startKey
+	for {
+		kvs, next, err := t.ScanRange(cur, endKey, 1024)
 		if err != nil {
 			return nil, err
 		}
-		for _, e := range entries {
-			consider(e.key, e.cell)
+		out = append(out, kvs...)
+		if next == "" {
+			return out, nil
 		}
+		cur = next
 	}
-	for k, c := range t.mem {
-		consider(k, c)
-	}
-	var out []KV
-	for k, c := range newest {
-		if c.tombstone {
-			continue
+}
+
+// MidKey returns the median live key — the natural split point for a
+// region hosting this table — or "" when the table has fewer than two
+// live keys.
+func (t *Table) MidKey() (string, error) {
+	var keys []string
+	cur := ""
+	for {
+		kvs, next, err := t.ScanRange(cur, "", 1024)
+		if err != nil {
+			return "", err
 		}
-		out = append(out, KV{Key: k, Value: append([]byte(nil), c.value...)})
+		for _, kv := range kvs {
+			keys = append(keys, kv.Key)
+		}
+		if next == "" {
+			break
+		}
+		cur = next
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out, nil
+	if len(keys) < 2 {
+		return "", nil
+	}
+	return keys[len(keys)/2], nil
 }
 
 // Len returns the number of live keys.
@@ -462,10 +806,14 @@ func (t *Table) Len() (int, error) {
 }
 
 // StoreFileCount reports the current number of store files.
-func (t *Table) StoreFileCount() int {
-	files, _ := t.storeFiles()
-	return len(files)
-}
+func (t *Table) StoreFileCount() int { return len(t.files) }
 
 // MemStoreBytes reports the current MemStore footprint.
 func (t *Table) MemStoreBytes() int64 { return t.memBytes }
+
+// DiskBytes reports the total store-file footprint.
+func (t *Table) DiskBytes() int64 { return t.diskBytes }
+
+// SizeBytes reports the table's total footprint (MemStore + store
+// files) — the size signal region auto-splitting keys on.
+func (t *Table) SizeBytes() int64 { return t.memBytes + t.diskBytes }

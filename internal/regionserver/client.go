@@ -1,0 +1,215 @@
+package regionserver
+
+import (
+	"errors"
+
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// Client is the serving-tier client library: it caches region locations
+// per table, routes ops to the hosting server, transparently refreshes
+// from META and retries when a region moved or split (ErrNotServing),
+// and reads through the optional cache tier. ErrServerDown surfaces to
+// the caller after one refresh — recovering from a crash takes real
+// (virtual) time, so the caller owns that backoff.
+type Client struct {
+	eng    *sim.Engine
+	master *Master
+	cost   CostModel
+	m      *metrics
+	cache  *CacheTier // nil = no cache tier
+
+	locs        map[string][]RegionInfo // per-table location cache
+	maxAttempts int
+}
+
+func newClient(ma *Master, cache *CacheTier) *Client {
+	return &Client{
+		eng:         ma.eng,
+		master:      ma,
+		cost:        ma.cost,
+		m:           ma.m,
+		cache:       cache,
+		locs:        map[string][]RegionInfo{},
+		maxAttempts: 4,
+	}
+}
+
+// Cache returns the client's cache tier (nil when uncached).
+func (cl *Client) Cache() *CacheTier { return cl.cache }
+
+// refresh re-reads the table's region list from META, charging the
+// lookup plus a round trip.
+func (cl *Client) refresh(at sim.Time, table string) (sim.Time, error) {
+	regions, err := cl.master.Regions(table)
+	if err != nil {
+		return at, err
+	}
+	cl.locs[table] = regions
+	cl.m.metaRefresh.Inc()
+	return at + cl.cost.MetaLookup + cl.cost.RTT, nil
+}
+
+// route resolves key → (region, server) from the location cache,
+// refreshing when stale is set or nothing is cached.
+func (cl *Client) route(at sim.Time, table, key string, stale bool) (RegionInfo, *Server, sim.Time, error) {
+	now := at
+	regions, ok := cl.locs[table]
+	if stale || !ok {
+		var err error
+		if now, err = cl.refresh(now, table); err != nil {
+			return RegionInfo{}, nil, now, err
+		}
+		regions = cl.locs[table]
+	}
+	info, ok := locate(regions, key)
+	if !ok {
+		return RegionInfo{}, nil, now, ErrNoTable
+	}
+	srv := cl.master.Server(info.Srv)
+	if srv == nil {
+		return RegionInfo{}, nil, now, ErrNoLiveServer
+	}
+	return info, srv, now, nil
+}
+
+// retryable reports whether the op should re-route and try again.
+func retryable(err error) bool {
+	return errors.Is(err, ErrNotServing) || errors.Is(err, ErrServerDown)
+}
+
+// do runs one routed op with the NotServing retry loop: attempt, and on
+// a stale-location error refresh META and go again (bounded). The op
+// callback performs the server call at the given arrival time.
+func (cl *Client) do(at sim.Time, table, key string,
+	op func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error)) (sim.Time, error) {
+	now := at
+	stale := false
+	var lastErr error
+	for attempt := 0; attempt < cl.maxAttempts; attempt++ {
+		if attempt > 0 {
+			cl.m.retries.Inc()
+		}
+		info, srv, t, err := cl.route(now, table, key, stale)
+		now = t
+		if err != nil {
+			return now, err
+		}
+		done, err := op(info, srv, now)
+		if err == nil || !retryable(err) {
+			return done + cl.cost.RTT, err
+		}
+		lastErr = err
+		now = done
+		stale = true
+		if errors.Is(err, ErrServerDown) && attempt > 0 {
+			// Refreshed and still down: META hasn't moved the region yet.
+			// Recovery takes virtual time; hand the backoff to the caller.
+			break
+		}
+	}
+	return now, lastErr
+}
+
+// Get reads one row, through the cache tier when present (hit: served
+// from the shard; miss: read through and fill). kvstore.ErrNotFound is
+// the absent-row result, not a failure.
+func (cl *Client) Get(at sim.Time, table, key string) ([]byte, sim.Time, error) {
+	now := at
+	if cl.cache != nil {
+		v, ok, done := cl.cache.Get(now, table, key)
+		if ok {
+			return v, done, nil
+		}
+		now = done
+	}
+	var val []byte
+	done, err := cl.do(now, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+		v, d, err := srv.Get(at, info.ID, info.Epoch, key)
+		val = v
+		return d, err
+	})
+	if err == nil && cl.cache != nil {
+		done = cl.cache.Fill(done, table, key, val)
+	}
+	return val, done, err
+}
+
+// Put writes one row and invalidates its cache entry after the ack
+// (write-invalidate coherence).
+func (cl *Client) Put(at sim.Time, table, key string, value []byte) (sim.Time, error) {
+	done, err := cl.do(at, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+		return srv.Put(at, info.ID, info.Epoch, key, value)
+	})
+	if err == nil && cl.cache != nil {
+		done = cl.cache.Invalidate(done, table, key)
+	}
+	return done, err
+}
+
+// Delete removes one row (tombstone) and invalidates its cache entry.
+func (cl *Client) Delete(at sim.Time, table, key string) (sim.Time, error) {
+	done, err := cl.do(at, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+		return srv.Delete(at, info.ID, info.Epoch, key)
+	})
+	if err == nil && cl.cache != nil {
+		done = cl.cache.Invalidate(done, table, key)
+	}
+	return done, err
+}
+
+// ReadModifyWrite reads the row then writes the new value — the YCSB
+// workload-F op. The read goes through the cache like any Get.
+func (cl *Client) ReadModifyWrite(at sim.Time, table, key string, value []byte) (sim.Time, error) {
+	_, done, err := cl.Get(at, table, key)
+	if err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+		return done, err
+	}
+	return cl.Put(done, table, key, value)
+}
+
+// Scan reads up to limit rows of [start, end) (end "" = to the table's
+// end; limit <= 0 = unlimited), stitching bounded per-region scans
+// together across region boundaries. Scans bypass the cache tier.
+func (cl *Client) Scan(at sim.Time, table, start, end string, limit int) ([]kvstore.KV, sim.Time, error) {
+	now := at
+	var out []kvstore.KV
+	cursor := start
+	for {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		rem := 0
+		if limit > 0 {
+			rem = limit - len(out)
+		}
+		var (
+			kvs      []kvstore.KV
+			next     string
+			regEnd   string
+			moreTail bool
+		)
+		done, err := cl.do(now, table, cursor, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+			k, n, d, err := srv.Scan(at, info.ID, info.Epoch, cursor, end, rem)
+			kvs, next = k, n
+			regEnd = info.End
+			moreTail = info.End != "" && (end == "" || info.End < end)
+			return d, err
+		})
+		now = done
+		if err != nil {
+			return out, now, err
+		}
+		out = append(out, kvs...)
+		if next != "" {
+			cursor = next
+			continue
+		}
+		if !moreTail {
+			break
+		}
+		cursor = regEnd
+	}
+	return out, now, nil
+}

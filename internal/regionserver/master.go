@@ -1,0 +1,578 @@
+package regionserver
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// META log event types. The log is the serving tier's determinism
+// fingerprint: two runs from the same seed produce byte-identical logs.
+const (
+	EvRegionCreate   = "region.create"
+	EvRegionAssign   = "region.assign"
+	EvRegionSplit    = "region.split"
+	EvRegionMerge    = "region.merge"
+	EvRegionReassign = "region.reassign"
+	EvServerDead     = "server.dead"
+	EvServerJoin     = "server.join"
+)
+
+// Master owns META — the authoritative (table, rowkey) → region → server
+// map — and the region lifecycle: create, assign, split hot regions,
+// merge cold ones, and reassign everything a dead server was hosting.
+type Master struct {
+	eng  *sim.Engine
+	fs   vfs.FileSystem
+	cost CostModel
+	opts Options
+	m    *metrics
+
+	servers []*Server // stable name order
+	byName  map[string]*Server
+
+	meta       map[string][]RegionInfo // per table, sorted by Start
+	metaLog    *history.Log
+	nextRegion int
+	nextEpoch  int
+
+	lastBeat map[string]sim.Time
+	dead     map[string]bool
+	ticker   *sim.Ticker
+
+	recoverStart, recoverEnd sim.Time
+	recovered                int
+}
+
+// newMaster wires the master over an existing server set.
+func newMaster(eng *sim.Engine, fs vfs.FileSystem, servers []*Server, opts Options, m *metrics) *Master {
+	ma := &Master{
+		eng:      eng,
+		fs:       fs,
+		cost:     *opts.Cost,
+		opts:     opts,
+		m:        m,
+		servers:  servers,
+		byName:   map[string]*Server{},
+		meta:     map[string][]RegionInfo{},
+		metaLog:  history.NewLog(m.reg.Counter(MetricMetaEvents)),
+		lastBeat: map[string]sim.Time{},
+		dead:     map[string]bool{},
+	}
+	for _, s := range servers {
+		ma.byName[s.name] = s
+		ma.lastBeat[s.name] = eng.Now()
+		s.askSplit = ma.requestSplit
+		s.splitMaxBytes = opts.SplitMaxBytes
+		s.splitMaxOps = opts.SplitMaxOps
+	}
+	ma.ticker = eng.Every(opts.HeartbeatInterval, ma.tick)
+	return ma
+}
+
+// Stop cancels the heartbeat ticker (tests and benches that reuse an
+// engine after the cluster is done).
+func (ma *Master) Stop() { ma.ticker.Stop() }
+
+func (ma *Master) logEvent(typ string, attrs map[string]string) {
+	ma.metaLog.Append(ma.eng.Now(), typ, attrs)
+}
+
+// MetaLogBytes marshals the META log — the byte-comparable determinism
+// artifact.
+func (ma *Master) MetaLogBytes() ([]byte, error) { return ma.metaLog.Bytes() }
+
+// MetaLogLen returns the number of META events so far.
+func (ma *Master) MetaLogLen() int { return ma.metaLog.Len() }
+
+// Tables returns the sorted table names.
+func (ma *Master) Tables() []string {
+	names := make([]string, 0, len(ma.meta))
+	for name := range ma.meta {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Regions returns a copy of the table's sorted region list (what a
+// client caches on a META refresh).
+func (ma *Master) Regions(table string) ([]RegionInfo, error) {
+	regions, ok := ma.meta[table]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	return append([]RegionInfo(nil), regions...), nil
+}
+
+// Server returns the named region server (nil if unknown).
+func (ma *Master) Server(name string) *Server { return ma.byName[name] }
+
+// Servers returns the region servers in stable name order.
+func (ma *Master) Servers() []*Server { return append([]*Server(nil), ma.servers...) }
+
+// aliveServers returns the live servers in stable name order.
+func (ma *Master) aliveServers() []*Server {
+	var out []*Server
+	for _, s := range ma.servers {
+		if s.alive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// leastLoaded picks the live server hosting the fewest regions (name
+// order breaks ties) — the assignment heuristic for daughters and
+// recovered regions. exclude may be nil.
+func (ma *Master) leastLoaded(exclude *Server) *Server {
+	var best *Server
+	for _, s := range ma.aliveServers() {
+		if s == exclude {
+			continue
+		}
+		if best == nil || s.RegionCount() < best.RegionCount() {
+			best = s
+		}
+	}
+	if best == nil && exclude != nil && exclude.alive {
+		return exclude
+	}
+	return best
+}
+
+// newRegionInfo mints a region with a fresh ID and epoch.
+func (ma *Master) newRegionInfo(table, start, end string) RegionInfo {
+	id := fmt.Sprintf("r%04d", ma.nextRegion)
+	ma.nextRegion++
+	ma.nextEpoch++
+	return RegionInfo{
+		ID:    id,
+		Table: table,
+		Start: start,
+		End:   end,
+		Epoch: ma.nextEpoch,
+		Path:  regionPath(table, id),
+	}
+}
+
+// CreateTable creates a table pre-split at the given keys (sorted,
+// deduplicated; empty means one region spanning everything) and assigns
+// the regions round-robin over the live servers.
+func (ma *Master) CreateTable(table string, splitKeys []string) error {
+	if _, ok := ma.meta[table]; ok {
+		return fmt.Errorf("regionserver: table %q exists", table)
+	}
+	alive := ma.aliveServers()
+	if len(alive) == 0 {
+		return ErrNoLiveServer
+	}
+	keys := append([]string(nil), splitKeys...)
+	sort.Strings(keys)
+	keys = compactKeys(keys)
+	bounds := append([]string{""}, keys...)
+	var regions []RegionInfo
+	for i, start := range bounds {
+		end := ""
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		info := ma.newRegionInfo(table, start, end)
+		srv := alive[i%len(alive)]
+		info.Srv = srv.name
+		if _, err := srv.openRegion(info); err != nil {
+			return err
+		}
+		regions = append(regions, info)
+		ma.logEvent(EvRegionCreate, map[string]string{
+			"region": info.ID, "table": table, "range": info.RangeString(),
+		})
+		ma.logEvent(EvRegionAssign, map[string]string{
+			"region": info.ID, "server": srv.name, "epoch": fmt.Sprint(info.Epoch),
+		})
+	}
+	ma.meta[table] = regions
+	return nil
+}
+
+func compactKeys(sorted []string) []string {
+	var out []string
+	for _, k := range sorted {
+		if k == "" || (len(out) > 0 && out[len(out)-1] == k) {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// BulkLoadTable loads sorted rows straight into the regions' store
+// files, bypassing WAL and MemStore — the setup path experiments use to
+// install the initial dataset without burning virtual time.
+func (ma *Master) BulkLoadTable(table string, kvs []kvstore.KV) error {
+	regions, ok := ma.meta[table]
+	if !ok {
+		return ErrNoTable
+	}
+	sorted := append([]kvstore.KV(nil), kvs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for _, info := range regions {
+		lo := sort.Search(len(sorted), func(i int) bool { return sorted[i].Key >= info.Start })
+		hi := len(sorted)
+		if info.End != "" {
+			hi = sort.Search(len(sorted), func(i int) bool { return sorted[i].Key >= info.End })
+		}
+		if lo >= hi {
+			continue
+		}
+		srv := ma.byName[info.Srv]
+		hr := srv.regions[info.ID]
+		if hr == nil {
+			return fmt.Errorf("regionserver: %s not open on %s", info.ID, info.Srv)
+		}
+		if err := hr.tbl.BulkLoad(sorted[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// updateMeta replaces the META rows for the given region IDs with the
+// replacement set (which may be empty — a merge removes rows).
+func (ma *Master) updateMeta(table string, removeIDs []string, add []RegionInfo) {
+	regions := ma.meta[table]
+	var next []RegionInfo
+	for _, r := range regions {
+		removed := false
+		for _, id := range removeIDs {
+			if r.ID == id {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			next = append(next, r)
+		}
+	}
+	next = append(next, add...)
+	sortRegions(next)
+	ma.meta[table] = next
+}
+
+// findRegion locates a region row by ID across all tables.
+func (ma *Master) findRegion(regionID string) (RegionInfo, bool) {
+	for _, table := range ma.Tables() {
+		for _, r := range ma.meta[table] {
+			if r.ID == regionID {
+				return r, true
+			}
+		}
+	}
+	return RegionInfo{}, false
+}
+
+// requestSplit is the hot-region hook servers fire (deferred through the
+// engine) when a region crosses the size/ops thresholds.
+func (ma *Master) requestSplit(regionID string) {
+	info, ok := ma.findRegion(regionID)
+	if !ok {
+		return // already split or merged away
+	}
+	srv := ma.byName[info.Srv]
+	if srv == nil || !srv.alive {
+		return // crash recovery owns this region now
+	}
+	hr := srv.regions[info.ID]
+	if hr == nil || hr.info.Epoch != info.Epoch {
+		return
+	}
+	if err := ma.splitRegion(info, srv, hr); err != nil {
+		// Unsplittable (single hot key, midkey at a bound): re-arm the
+		// trigger so growth can ask again later.
+		hr.ops = 0
+		hr.splitAsked = false
+	}
+}
+
+// splitRegion divides a region at its data midpoint: flush the parent,
+// bulk-copy each half into a fresh daughter region, keep the low
+// daughter local, hand the high daughter to the least-loaded server, and
+// drop the parent. Clients holding the parent's location get
+// ErrNotServing and refresh.
+func (ma *Master) splitRegion(info RegionInfo, srv *Server, hr *hostedRegion) error {
+	mid, err := hr.tbl.MidKey()
+	if err != nil {
+		return err
+	}
+	if mid == "" || mid <= info.Start || (info.End != "" && mid >= info.End) {
+		return fmt.Errorf("regionserver: %s has no usable midkey", info.ID)
+	}
+	if err := hr.tbl.Flush(); err != nil {
+		return err
+	}
+	parentBytes := hr.tbl.SizeBytes()
+	low := ma.newRegionInfo(info.Table, info.Start, mid)
+	high := ma.newRegionInfo(info.Table, mid, info.End)
+	target := ma.leastLoaded(nil)
+	if target == nil {
+		return ErrNoLiveServer
+	}
+	low.Srv = srv.name
+	high.Srv = target.name
+	if err := ma.copyRange(hr.tbl, low, srv); err != nil {
+		return err
+	}
+	if err := ma.copyRange(hr.tbl, high, target); err != nil {
+		return err
+	}
+	srv.closeRegion(info.ID)
+	if err := ma.fs.Remove(info.Path, true); err != nil {
+		return err
+	}
+	ma.updateMeta(info.Table, []string{info.ID}, []RegionInfo{low, high})
+
+	// Virtual-time cost: the parent server does the full split, the
+	// daughter target absorbs its half.
+	now := ma.eng.Now()
+	cost := ma.cost.SplitBase + sim.Time(parentBytes/1024)*ma.cost.SplitPerKB
+	done := srv.occupy(now, cost)
+	if target != srv {
+		target.occupy(now, cost/2)
+	}
+	ma.m.splits.Inc()
+	ma.m.reg.Span(SpanSplit, now, done, map[string]string{
+		"region": info.ID, "mid": mid, "low": low.ID, "high": high.ID,
+	})
+	ma.logEvent(EvRegionSplit, map[string]string{
+		"region": info.ID, "mid": mid, "low": low.ID, "high": high.ID,
+	})
+	ma.logEvent(EvRegionAssign, map[string]string{
+		"region": low.ID, "server": low.Srv, "epoch": fmt.Sprint(low.Epoch),
+	})
+	ma.logEvent(EvRegionAssign, map[string]string{
+		"region": high.ID, "server": high.Srv, "epoch": fmt.Sprint(high.Epoch),
+	})
+	return nil
+}
+
+// copyRange streams the daughter's half of the parent table into a
+// fresh region on dst, in bounded chunks (the resumable-scan satellite
+// at work: no whole-range materialization).
+func (ma *Master) copyRange(parent *kvstore.Table, daughter RegionInfo, dst *Server) error {
+	tbl, err := kvstore.Open(ma.fs, daughter.Path, dst.kv)
+	if err != nil {
+		return err
+	}
+	cursor := daughter.Start
+	for {
+		kvs, next, err := parent.ScanRange(cursor, daughter.End, 256)
+		if err != nil {
+			return err
+		}
+		if len(kvs) > 0 {
+			if err := tbl.BulkLoad(kvs); err != nil {
+				return err
+			}
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	dst.regions[daughter.ID] = &hostedRegion{info: daughter, tbl: tbl}
+	return nil
+}
+
+// MergeAdjacent merges the first adjacent cold pair of the table —
+// both sides under MergeMaxOps ops in the current window and combined
+// size under maxBytes — into one region on the low side's server.
+// Returns whether a merge happened.
+func (ma *Master) MergeAdjacent(table string, maxBytes int64) (bool, error) {
+	regions, ok := ma.meta[table]
+	if !ok {
+		return false, ErrNoTable
+	}
+	for i := 0; i+1 < len(regions); i++ {
+		a, b := regions[i], regions[i+1]
+		sa, sb := ma.byName[a.Srv], ma.byName[b.Srv]
+		if sa == nil || sb == nil || !sa.alive || !sb.alive {
+			continue
+		}
+		ha, hb := sa.regions[a.ID], sb.regions[b.ID]
+		if ha == nil || hb == nil {
+			continue
+		}
+		if ha.ops >= ma.opts.MergeMaxOps || hb.ops >= ma.opts.MergeMaxOps {
+			continue
+		}
+		if ha.tbl.SizeBytes()+hb.tbl.SizeBytes() > maxBytes {
+			continue
+		}
+		return true, ma.mergeRegions(a, b, sa, sb, ha, hb)
+	}
+	return false, nil
+}
+
+func (ma *Master) mergeRegions(a, b RegionInfo, sa, sb *Server, ha, hb *hostedRegion) error {
+	merged := ma.newRegionInfo(a.Table, a.Start, b.End)
+	merged.Srv = sa.name
+	if err := ha.tbl.Flush(); err != nil {
+		return err
+	}
+	if err := hb.tbl.Flush(); err != nil {
+		return err
+	}
+	if err := ma.copyRange(ha.tbl, mergedHalf(merged, a.Start, a.End), sa); err != nil {
+		return err
+	}
+	// copyRange installed the region; stream the second half into the
+	// same table.
+	tbl := sa.regions[merged.ID].tbl
+	cursor := b.Start
+	for {
+		kvs, next, err := hb.tbl.ScanRange(cursor, b.End, 256)
+		if err != nil {
+			return err
+		}
+		if len(kvs) > 0 {
+			if err := tbl.BulkLoad(kvs); err != nil {
+				return err
+			}
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	// copyRange installed the clamped low half; restore the full range.
+	sa.regions[merged.ID].info = merged
+	sa.closeRegion(a.ID)
+	sb.closeRegion(b.ID)
+	if err := ma.fs.Remove(a.Path, true); err != nil {
+		return err
+	}
+	if err := ma.fs.Remove(b.Path, true); err != nil {
+		return err
+	}
+	ma.updateMeta(a.Table, []string{a.ID, b.ID}, []RegionInfo{merged})
+	ma.m.merges.Inc()
+	ma.logEvent(EvRegionMerge, map[string]string{
+		"low": a.ID, "high": b.ID, "merged": merged.ID,
+	})
+	ma.logEvent(EvRegionAssign, map[string]string{
+		"region": merged.ID, "server": merged.Srv, "epoch": fmt.Sprint(merged.Epoch),
+	})
+	return nil
+}
+
+// mergedHalf clamps the merged region info to the low parent's range so
+// copyRange streams only that half (the second half is streamed after).
+func mergedHalf(merged RegionInfo, start, end string) RegionInfo {
+	merged.Start = start
+	merged.End = end
+	return merged
+}
+
+// tick is the master's heartbeat pass: live servers refresh their beat,
+// silent servers past the expiry are declared dead and their regions
+// reassigned, restarted servers rejoin, and (when enabled) one cold
+// adjacent pair per table merges.
+func (ma *Master) tick() {
+	now := ma.eng.Now()
+	for _, s := range ma.servers {
+		switch {
+		case s.alive && ma.dead[s.name]:
+			ma.dead[s.name] = false
+			ma.lastBeat[s.name] = now
+			ma.logEvent(EvServerJoin, map[string]string{"server": s.name})
+		case s.alive:
+			ma.lastBeat[s.name] = now
+		case !ma.dead[s.name] && now-ma.lastBeat[s.name] >= ma.opts.HeartbeatExpiry:
+			ma.declareDead(s)
+		}
+	}
+	if ma.opts.MergeMaxBytes > 0 {
+		for _, table := range ma.Tables() {
+			ma.MergeAdjacent(table, ma.opts.MergeMaxBytes)
+		}
+	}
+}
+
+// declareDead reassigns every region the dead server was hosting to the
+// least-loaded survivors. Each new owner reopens the region's kvstore —
+// a real WAL replay off the shared filesystem — and is charged
+// replay-proportional virtual time.
+func (ma *Master) declareDead(s *Server) {
+	now := ma.eng.Now()
+	ma.dead[s.name] = true
+	ma.recoverStart = now
+	ma.recoverEnd = now
+	ma.logEvent(EvServerDead, map[string]string{"server": s.name})
+	for _, table := range ma.Tables() {
+		regions := append([]RegionInfo(nil), ma.meta[table]...)
+		for _, info := range regions {
+			if info.Srv != s.name {
+				continue
+			}
+			target := ma.leastLoaded(nil)
+			if target == nil {
+				continue // nobody left; regions stay dark until a restart
+			}
+			ma.nextEpoch++
+			next := info
+			next.Srv = target.name
+			next.Epoch = ma.nextEpoch
+			replayed, err := target.openRegion(next)
+			if err != nil {
+				continue
+			}
+			done := target.occupy(now, ma.cost.ReplayBase+sim.Time(replayed)*ma.cost.ReplayPerOp)
+			if done > ma.recoverEnd {
+				ma.recoverEnd = done
+			}
+			ma.updateMeta(table, []string{info.ID}, []RegionInfo{next})
+			ma.recovered++
+			ma.m.reassigns.Inc()
+			ma.m.reg.Span(SpanRecover, now, done, map[string]string{
+				"region": info.ID, "from": s.name, "to": target.name,
+				"replayed": fmt.Sprint(replayed),
+			})
+			ma.logEvent(EvRegionReassign, map[string]string{
+				"region": info.ID, "from": s.name, "to": target.name,
+				"epoch": fmt.Sprint(next.Epoch), "replayed": fmt.Sprint(replayed),
+			})
+		}
+	}
+}
+
+// LastRecovery reports the most recent crash-recovery window (declare
+// dead → last region replayed) and the total regions recovered so far.
+func (ma *Master) LastRecovery() (start, end sim.Time, regions int) {
+	return ma.recoverStart, ma.recoverEnd, ma.recovered
+}
+
+// ResetLoadWindows zeroes every hosted region's op window (the merge
+// coldness signal); callers running phased workloads use it between
+// phases.
+func (ma *Master) ResetLoadWindows() {
+	for _, s := range ma.servers {
+		for _, id := range s.regionIDs() {
+			s.regions[id].ops = 0
+		}
+	}
+}
+
+// CheckMeta verifies every table's regions tile the key space with no
+// gaps or overlaps — the serving tier's fsck.
+func (ma *Master) CheckMeta() error {
+	for _, table := range ma.Tables() {
+		if err := checkContiguous(ma.meta[table]); err != nil {
+			return fmt.Errorf("table %s: %w", table, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package regionserver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RegionInfo is one row of META: a contiguous row-key range of a table,
+// the server currently hosting it, and the epoch fencing stale clients.
+type RegionInfo struct {
+	ID    string // "r0007" — unique per master, never reused
+	Table string
+	Start string // inclusive; "" = from the beginning
+	End   string // exclusive; "" = to the end
+	Srv   string // hosting server name
+	Epoch int    // bumped on every assign/move; stale epochs get ErrNotServing
+	Path  string // vfs root of the region's kvstore Table
+}
+
+// Contains reports whether the row key falls in the region's range.
+func (r RegionInfo) Contains(key string) bool {
+	return r.Start <= key && (r.End == "" || key < r.End)
+}
+
+// RangeString renders the range for logs and status pages.
+func (r RegionInfo) RangeString() string {
+	start, end := r.Start, r.End
+	if start == "" {
+		start = "-inf"
+	}
+	if end == "" {
+		end = "+inf"
+	}
+	return fmt.Sprintf("[%s, %s)", start, end)
+}
+
+// regionPath is the vfs root for a region's kvstore Table.
+func regionPath(table, regionID string) string {
+	return "/serving/" + table + "/" + regionID
+}
+
+// locate finds the region covering key in a Start-sorted region list.
+func locate(regions []RegionInfo, key string) (RegionInfo, bool) {
+	// First region with Start > key, minus one.
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].Start > key })
+	if i == 0 {
+		return RegionInfo{}, false
+	}
+	r := regions[i-1]
+	if !r.Contains(key) {
+		return RegionInfo{}, false
+	}
+	return r, true
+}
+
+// sortRegions orders a region list by range start (the META invariant).
+func sortRegions(regions []RegionInfo) {
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].Start != regions[j].Start {
+			return regions[i].Start < regions[j].Start
+		}
+		return regions[i].ID < regions[j].ID
+	})
+}
+
+// checkContiguous verifies a sorted region list tiles the whole key
+// space: starts at "", each End meets the next Start, ends open. Used by
+// tests and the fsck-style consistency check on the status page.
+func checkContiguous(regions []RegionInfo) error {
+	if len(regions) == 0 {
+		return fmt.Errorf("no regions")
+	}
+	if regions[0].Start != "" {
+		return fmt.Errorf("first region %s starts at %q, not -inf", regions[0].ID, regions[0].Start)
+	}
+	for i := 0; i < len(regions)-1; i++ {
+		if regions[i].End != regions[i+1].Start {
+			return fmt.Errorf("gap: %s ends at %q, %s starts at %q",
+				regions[i].ID, regions[i].End, regions[i+1].ID, regions[i+1].Start)
+		}
+	}
+	if last := regions[len(regions)-1]; last.End != "" {
+		return fmt.Errorf("last region %s ends at %q, not +inf", last.ID, last.End)
+	}
+	return nil
+}
+
+// minNonEmpty returns the smaller of two range bounds where "" means
+// +inf (used for scan clamping).
+func minEnd(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	if strings.Compare(a, b) < 0 {
+		return a
+	}
+	return b
+}

@@ -9,6 +9,7 @@
 //	/fsck        filesystem audit
 //	/topology    the Figure-2 component diagram
 //	/scheduler   YARN ResourceManager status (queues, apps, node pool)
+//	/serving     region-server tier status (regions, heat, cache, recovery)
 //	/counters    counters of the most recently completed job
 //	/metrics     the full obs snapshot as JSON (counters, gauges, spans)
 //	/timeline    per-job task-attempt timeline from the recorded spans
@@ -60,6 +61,7 @@ func Handler(c *core.MiniCluster) http.Handler {
   /fsck        filesystem audit
   /topology    component diagram (Figure 2)
   /scheduler   YARN ResourceManager status (queues, apps, node pool)
+  /serving     region-server tier status (regions, heat, cache, recovery)
   /counters    last completed job's counters
   /metrics     cluster metrics + spans (JSON snapshot)
   /timeline    per-job task-attempt timeline
@@ -81,6 +83,12 @@ func Handler(c *core.MiniCluster) http.Handler {
 			return "YARN is not enabled on this cluster (set Options.YARN)\n", nil
 		}
 		return c.RM.StatusPage(), nil
+	}))
+	mux.Handle("/serving", text(func() (string, error) {
+		if c.Serving == nil {
+			return "the serving tier is not enabled on this cluster (set Options.Serving)\n", nil
+		}
+		return c.Serving.StatusPage(), nil
 	}))
 	mux.Handle("/fsck", text(func() (string, error) {
 		rep, err := c.Fsck()

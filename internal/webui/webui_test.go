@@ -11,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/hdfs"
 	"repro/internal/jobs"
+	"repro/internal/regionserver"
 	"repro/internal/webui"
 	"repro/internal/yarn"
 )
@@ -80,6 +81,7 @@ func TestEndpoints(t *testing.T) {
 			"Timeline (rebuilt from the history file)",
 		}},
 		{"/scheduler", http.StatusOK, textPlain, []string{"YARN is not enabled"}},
+		{"/serving", http.StatusOK, textPlain, []string{"serving tier is not enabled"}},
 		{"/history/job_missing_9999", http.StatusNotFound, "", nil},
 		{"/nope", http.StatusNotFound, "", nil},
 	}
@@ -125,6 +127,46 @@ func TestSchedulerPage(t *testing.T) {
 	for _, want := range []string{"Resource Manager", "Node pool: 4/4 nodes active", "root.default", "Containers launched:"} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/scheduler missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServingPage enables the region-server tier, serves a little
+// traffic, and checks the /serving status page renders the server table,
+// region layout and cache counters.
+func TestServingPage(t *testing.T) {
+	c, err := core.New(core.Options{
+		Nodes: 6, Seed: 6,
+		Serving: &regionserver.Options{Servers: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Serving.Stop()
+	if err := c.Serving.Master.CreateTable("usertable", []string{"g", "n"}); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Serving.NewCachedClient(4, 64)
+	now := c.Engine.Now()
+	for _, k := range []string{"alpha", "golf", "zulu"} {
+		if _, err := cl.Put(now, "usertable", k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ { // misses then hits
+		if _, _, err := cl.Get(now, "usertable", "alpha"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(webui.Handler(c))
+	defer srv.Close()
+	code, ct, body := get(t, srv, "/serving")
+	if code != http.StatusOK || ct != textPlain {
+		t.Fatalf("/serving -> %d %q", code, ct)
+	}
+	for _, want := range []string{"rs1", "Table usertable (3 regions)", "META check: ok", "Hottest regions"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/serving missing %q:\n%s", want, body)
 		}
 	}
 }
