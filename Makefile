@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test short check race chaos bench bench-smoke ci lint
+# Where `make bench` writes the committed headline-metrics artifact.
+# Each PR that re-baselines benchmarks bumps the default.
+BENCH_OUT ?= BENCH_pr9.json
+
+.PHONY: build test short check race chaos bench bench-smoke ci lint lint-fast
 
 build:
 	$(GO) build ./...
@@ -16,11 +20,18 @@ short:
 
 # Determinism & concurrency lint (see docs/LINT.md): wall-clock reads,
 # shared rand, order-dependent map iteration, lock misuse, library
-# hygiene. Runs after vet — vet catches what the compiler misses, lint
-# catches what vet can't know (the repo's own sim-clock/seeded-rand
-# contracts).
+# hygiene — plus the interprocedural call-graph rules (dettaint,
+# lockorder, commiterr). Runs after vet — vet catches what the compiler
+# misses, lint catches what vet can't know (the repo's own
+# sim-clock/seeded-rand contracts). -trace prints the call chain behind
+# each interprocedural finding.
 lint:
-	$(GO) run ./cmd/minilint ./internal/... ./cmd/...
+	$(GO) run ./cmd/minilint -trace ./internal/... ./cmd/...
+
+# Inner-dev-loop lint: per-package rules only, skipping the whole-program
+# call graph construction the interprocedural rules need.
+lint-fast:
+	$(GO) run ./cmd/minilint -fast ./internal/... ./cmd/...
 
 # Full verification: vet, then the repo lint suite, then the entire test
 # suite under the race detector (includes the obs registry, whose
@@ -44,7 +55,7 @@ chaos: race
 # artifact the tier-2 regression test (TestBenchRegression) diffs against.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
-	$(GO) run ./cmd/benchreport -out BENCH_pr8.json
+	$(GO) run ./cmd/benchreport -out $(BENCH_OUT)
 
 # One-iteration benchmark smoke pass — proves every experiment still runs
 # without paying for steady-state timing.

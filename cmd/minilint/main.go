@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	minilint [-list] [pattern ...]
+//	minilint [-list] [-fast] [-trace] [pattern ...]
 //
 // Patterns are directories, with "dir/..." walking recursively (testdata
 // and vendor trees are skipped, like the go tool). With no patterns it
 // checks ./internal/... and ./cmd/... — the CI gate:
 //
 //	go run ./cmd/minilint ./internal/... ./cmd/...
+//
+// -fast runs only the per-package analyzers, skipping the whole-program
+// call graph the interprocedural rules (dettaint, lockorder, commiterr)
+// need — the inner-dev-loop mode behind make lint-fast. -trace prints
+// each interprocedural finding's call chain, one frame per indented
+// line, under the diagnostic.
 //
 // Findings print as "file:line: [rule] message". A finding is either a
 // bug to fix or, rarely, an intentional exception to suppress with
@@ -23,6 +29,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -35,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("minilint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	fast := fs.Bool("fast", false, "run only the per-package analyzers (skip the call-graph rules)")
+	trace := fs.Bool("trace", false, "print the call chain under each interprocedural finding")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,7 +81,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags := lint.Run(pkgs, lint.Analyzers())
+	analyzers := lint.Analyzers()
+	if *fast {
+		analyzers = lint.FastAnalyzers()
+	}
+	diags := lint.Run(pkgs, analyzers)
 	cwd, _ := os.Getwd()
 	for _, d := range diags {
 		name := d.Pos.Filename
@@ -80,6 +93,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			name = rel
 		}
 		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Message)
+		if *trace && len(d.Trace) > 0 {
+			for i, frame := range d.Trace {
+				fmt.Fprintf(stdout, "\t%s%s\n", strings.Repeat("  ", i), frame)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "minilint: %d findings in %d packages\n", len(diags), len(pkgs))

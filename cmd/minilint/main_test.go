@@ -30,6 +30,17 @@ func TestSelfCheckClean(t *testing.T) {
 // currently catches — update it deliberately when adding cases.
 func TestSelfCheckDirty(t *testing.T) {
 	want := []string{
+		"commiterr.go:15 commiterr",
+		"commiterr.go:16 commiterr",
+		"commiterr.go:17 commiterr",
+		"commiterr.go:18 commiterr",
+		"dettaint.go:13 wallclock",
+		"dettaint.go:17 dettaint",
+		"dettaint.go:21 dettaint",
+		"dettaint.go:25 globalrand",
+		"dettaint.go:29 dettaint",
+		"dettaint.go:38 dettaint",
+		"dettaint.go:44 dettaint",
 		"globalrand.go:10 globalrand",
 		"globalrand.go:11 globalrand",
 		"globalrand.go:12 globalrand",
@@ -46,6 +57,9 @@ func TestSelfCheckDirty(t *testing.T) {
 		"lockguard.go:27 lockguard",
 		"lockguard.go:35 lockguard",
 		"lockguard.go:66 lockguard",
+		"lockorder.go:16 lockorder",
+		"lockorder.go:48 lockorder",
+		"lockorder.go:60 lockorder",
 		"maporder.go:11 maporder",
 		"maporder.go:43 maporder",
 		"maporder.go:49 maporder",
@@ -97,9 +111,61 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, rule := range []string{"wallclock", "globalrand", "maporder", "libhygiene", "lockguard"} {
+	for _, rule := range []string{"wallclock", "globalrand", "maporder", "libhygiene", "lockguard",
+		"dettaint", "lockorder", "commiterr"} {
 		if !strings.Contains(stdout.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}
+
+// TestFastSkipsInterprocedural: -fast runs only the per-package rules,
+// so the dirty fixture's call-graph findings disappear while the
+// per-package ones remain.
+func TestFastSkipsInterprocedural(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fast", dirtyDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, rule := range []string{"[dettaint]", "[lockorder]", "[commiterr]"} {
+		if strings.Contains(out, rule) {
+			t.Errorf("-fast output contains %s finding:\n%s", rule, out)
+		}
+	}
+	if !strings.Contains(out, "[wallclock]") {
+		t.Errorf("-fast output lost the per-package wallclock findings:\n%s", out)
+	}
+	// The interprocedural fixtures' suppressions-free lines must not leak
+	// unused-ignore noise either: the only ignores live in ignore.go.
+	if got := strings.Count(out, "[unused-ignore]"); got != 2 {
+		t.Errorf("-fast output has %d unused-ignore findings, want 2:\n%s", got, out)
+	}
+}
+
+// TestTraceOutput: -trace prints the call chain, one indented frame per
+// line, under an interprocedural finding.
+func TestTraceOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-trace", dirtyDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, frame := range []string{"\tdirty.viaTwoHops\n", "\t  dirty.viaHelper\n", "\t    dirty.readClock\n", "\t      time.Now\n"} {
+		if !strings.Contains(out, frame) {
+			t.Errorf("-trace output missing frame %q:\n%s", frame, out)
+		}
+	}
+}
+
+// BenchmarkLintRepo times the full suite (call graph included) over the
+// whole repository — the make-ci path. Budget: well under ten seconds
+// per run, so the gate stays cheap enough to run on every change.
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"../../internal/...", "../../cmd/..."}, &stdout, &stderr); code != 0 {
+			b.Fatalf("exit %d\n%s\n%s", code, stdout.String(), stderr.String())
 		}
 	}
 }

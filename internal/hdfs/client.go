@@ -173,8 +173,7 @@ func (w *hdfsWriter) Close() error {
 			return &vfs.PathError{Op: "write", Path: w.path, Err: err}
 		}
 	}
-	w.c.nn.journalFileComplete(w.path, w.f)
-	return nil
+	return w.c.nn.journalFileComplete(w.path, w.f)
 }
 
 // writeBlock runs one replicated pipeline write: client → DN1 → DN2 → DN3.

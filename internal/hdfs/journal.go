@@ -44,33 +44,45 @@ type imageEntry struct {
 }
 
 // journal appends an edit record to the edit log (no-op without a
-// metadata filesystem).
-func (nn *NameNode) journal(rec editRecord) {
+// metadata filesystem). A failed append is surfaced to the caller: an
+// edit acked to the client but not durable would silently vanish on the
+// next NameNode restart.
+func (nn *NameNode) journal(rec editRecord) error {
 	if nn.metaFS == nil {
-		return
+		return nil
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
-		return
+		return err
 	}
 	var existing []byte
 	if vfs.Exists(nn.metaFS, editsPath) {
-		existing, _ = vfs.ReadFile(nn.metaFS, editsPath)
-		_ = nn.metaFS.Remove(editsPath, false)
+		// A failed read here must abort the append: rewriting the log
+		// from a nil buffer would truncate every prior edit.
+		existing, err = vfs.ReadFile(nn.metaFS, editsPath)
+		if err != nil {
+			return err
+		}
+		if err := nn.metaFS.Remove(editsPath, false); err != nil {
+			return err
+		}
 	}
-	_ = vfs.WriteFile(nn.metaFS, editsPath, append(existing, append(line, '\n')...))
+	if err := vfs.WriteFile(nn.metaFS, editsPath, append(existing, append(line, '\n')...)); err != nil {
+		return err
+	}
 	nn.m.editLogRecords.Inc()
+	return nil
 }
 
 // journalFileComplete records a finished file with its blocks.
-func (nn *NameNode) journalFileComplete(path string, f *inode) {
+func (nn *NameNode) journalFileComplete(path string, f *inode) error {
 	lens := make([]int64, len(f.blocks))
 	for i, bid := range f.blocks {
 		if bm, ok := nn.blocks[bid]; ok {
 			lens[i] = bm.len
 		}
 	}
-	nn.journal(editRecord{Op: "close", Path: path, Repl: f.repl, Blocks: f.blocks, Lens: lens})
+	return nn.journal(editRecord{Op: "close", Path: path, Repl: f.repl, Blocks: f.blocks, Lens: lens})
 }
 
 // Checkpoint is the Secondary NameNode's job: serialise the current

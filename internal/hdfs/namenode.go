@@ -447,8 +447,7 @@ func (nn *NameNode) MkdirAll(path string) error {
 	if err := nn.ns.mkdirAll(path); err != nil {
 		return err
 	}
-	nn.journal(editRecord{Op: "mkdir", Path: vfs.Clean(path)})
-	return nil
+	return nn.journal(editRecord{Op: "mkdir", Path: vfs.Clean(path)})
 }
 
 // createFileEntry allocates the inode for a new file.
@@ -524,8 +523,7 @@ func (nn *NameNode) Delete(path string, recursive bool) error {
 			delete(nn.blocks, bid)
 		}
 	}
-	nn.journal(editRecord{Op: "delete", Path: vfs.Clean(path)})
-	return nil
+	return nn.journal(editRecord{Op: "delete", Path: vfs.Clean(path)})
 }
 
 // Rename moves a file or directory.
@@ -536,8 +534,7 @@ func (nn *NameNode) Rename(oldPath, newPath string) error {
 	if err := nn.ns.rename(oldPath, newPath); err != nil {
 		return err
 	}
-	nn.journal(editRecord{Op: "rename", Path: vfs.Clean(oldPath), Path2: vfs.Clean(newPath)})
-	return nil
+	return nn.journal(editRecord{Op: "rename", Path: vfs.Clean(oldPath), Path2: vfs.Clean(newPath)})
 }
 
 // SetReplication changes a file's target replication factor; the
@@ -562,8 +559,7 @@ func (nn *NameNode) SetReplication(path string, repl int) error {
 			bm.expected = repl
 		}
 	}
-	nn.journal(editRecord{Op: "setrep", Path: vfs.Clean(path), Repl: repl})
-	return nil
+	return nn.journal(editRecord{Op: "setrep", Path: vfs.Clean(path), Repl: repl})
 }
 
 // Stat describes a file or directory.

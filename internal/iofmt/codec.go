@@ -81,11 +81,18 @@ func ByName(name string) (Codec, error) {
 }
 
 // ByExtension returns the codec implied by a file path's suffix, or nil
-// when the path has no codec suffix.
+// when the path has no codec suffix. Extensions are tried in sorted
+// order so a path matching more than one registered suffix resolves the
+// same way every run.
 func ByExtension(path string) Codec {
-	for ext, c := range codecsByExt {
+	exts := make([]string, 0, len(codecsByExt))
+	for ext := range codecsByExt {
+		exts = append(exts, ext)
+	}
+	sort.Strings(exts)
+	for _, ext := range exts {
 		if strings.HasSuffix(path, ext) {
-			return c
+			return codecsByExt[ext]
 		}
 	}
 	return nil

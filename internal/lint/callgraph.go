@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The call graph is the shared substrate of the interprocedural
+// analyzers (dettaint, lockorder, commiterr). It is built once per lint
+// run over every loaded package, resolving *static* calls only:
+// package-level functions and methods whose receiver type the checker
+// resolved. Calls through interfaces, function values and reflection are
+// not resolved — the graph under-approximates, so interprocedural rules
+// can miss through dynamic dispatch but never follow an edge that cannot
+// happen. Stdlib callees (time.Now, math/rand.Intn) appear as body-less
+// leaf nodes so taint sources exist in the graph.
+
+// A FuncID names a function the way types.Func.FullName does:
+// "pkg/path.Name" for package functions, "(pkg/path.T).Name" or
+// "(*pkg/path.T).Name" for methods. IDs are stable across runs and
+// human-readable enough to print in diagnostics traces.
+type FuncID string
+
+// A CallEdge is one static call site.
+type CallEdge struct {
+	Callee FuncID
+	Pos    token.Pos
+	// InFuncLit marks calls made inside a function literal nested in the
+	// caller's body. The closure may run later (or never), but whatever
+	// nondeterminism or lock activity it performs is still attributed to
+	// the function that created it — dettaint follows these edges,
+	// lockorder does not (the closure does not run under the caller's
+	// held set).
+	InFuncLit bool
+}
+
+// A FuncNode is one function in the graph. Nodes with a nil Decl are
+// external: imported functions whose bodies were not loaded.
+type FuncNode struct {
+	ID   FuncID
+	Pkg  *Package      // package the body lives in; nil for external
+	Decl *ast.FuncDecl // nil for external
+	// Calls lists the static call sites of the body in source order.
+	Calls []CallEdge
+}
+
+// A CallGraph maps every reached FuncID to its node.
+type CallGraph struct {
+	Funcs map[FuncID]*FuncNode
+}
+
+// Node returns the node for id, or nil.
+func (g *CallGraph) Node(id FuncID) *FuncNode {
+	return g.Funcs[id]
+}
+
+// SortedIDs returns every FuncID in lexical order, for deterministic
+// iteration by analyzers.
+func (g *CallGraph) SortedIDs() []FuncID {
+	ids := make([]FuncID, 0, len(g.Funcs))
+	for id := range g.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// BuildCallGraph constructs the static call graph of the loaded
+// packages. Every function declaration with a body becomes an internal
+// node; every resolved callee without a loaded body becomes an external
+// node the first time it is called.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: map[FuncID]*FuncNode{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				id := declID(pkg, fd)
+				if id == "" {
+					continue
+				}
+				node := &FuncNode{ID: id, Pkg: pkg, Decl: fd}
+				node.Calls = collectCalls(pkg, fd.Body)
+				g.Funcs[id] = node
+			}
+		}
+	}
+	// Materialize external leaf nodes for callees without bodies.
+	for _, node := range g.Funcs {
+		for _, e := range node.Calls {
+			if g.Funcs[e.Callee] == nil {
+				g.Funcs[e.Callee] = &FuncNode{ID: e.Callee}
+			}
+		}
+	}
+	return g
+}
+
+// declID computes the FuncID of a declaration, preferring the checker's
+// object (whose FullName handles receivers) and falling back to a
+// syntactic rendering when type information is missing.
+func declID(pkg *Package, fd *ast.FuncDecl) FuncID {
+	if obj, ok := pkg.Info.Defs[fd.Name]; ok {
+		if fn, ok := obj.(*types.Func); ok {
+			return FuncID(fn.FullName())
+		}
+	}
+	// Fallback: "<pkg>.name" or "(<pkg>.T).name"; good enough to keep the
+	// node addressable when the tolerant check failed.
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+			return FuncID("(" + pkg.ImportPath + "." + t + ")." + fd.Name.Name)
+		}
+		return ""
+	}
+	return FuncID(pkg.ImportPath + "." + fd.Name.Name)
+}
+
+// collectCalls walks a body collecting resolved static call sites in
+// source order.
+func collectCalls(pkg *Package, body *ast.BlockStmt) []CallEdge {
+	var edges []CallEdge
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch e := node.(type) {
+			case *ast.FuncLit:
+				walk(e.Body, true)
+				return false
+			case *ast.CallExpr:
+				if callee, ok := resolveCallee(pkg, e); ok {
+					edges = append(edges, CallEdge{Callee: callee, Pos: e.Pos(), InFuncLit: inLit})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Pos < edges[j].Pos })
+	return edges
+}
+
+// resolveCallee resolves a call expression to a static callee. Three
+// shapes resolve: plain identifiers bound to functions (same-package
+// calls), qualified package functions (pkg.Fn), and method selections
+// whose receiver type is concrete. Interface method calls resolve to a
+// *types.Func whose receiver is the interface — those are kept as
+// external nodes (no body, so nothing propagates through them), which is
+// the conservative choice.
+func resolveCallee(pkg *Package, call *ast.CallExpr) (FuncID, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return FuncID(fn.FullName()), true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return FuncID(fn.FullName()), true
+			}
+			return "", false
+		}
+		// Not a selection: a qualified identifier (pkg.Fn).
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return FuncID(fn.FullName()), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Dettaint is the interprocedural extension of wallclock, globalrand and
+// maporder: it propagates determinism taint across the static call
+// graph, so a sim-visible function that reaches time.Now, the shared
+// math/rand source, or a map-order-dependent helper through any depth of
+// calls is flagged at its own call site with the full chain in the
+// diagnostic (a → b → time.Now). Direct calls to wall-clock or global
+// rand functions are left to the per-package rules (one finding per
+// site, not one per chain level is still one per site — each function on
+// the chain gets exactly one diagnostic naming its route).
+//
+// A third taint source has no per-package counterpart: a function that
+// returns from inside a range over a map, with the returned value
+// mentioning the iteration variables, picks an arbitrary element —
+// Go randomizes map order per run, so both the helper and every caller
+// are nondeterministic. Dettaint reports the helper at the return and
+// each (transitive) caller at its call site.
+//
+// Exemptions mirror the per-package rules: cmd/ packages may read the
+// wall clock (reports of wallclock taint are suppressed there), and
+// internal/sim is the sanctioned randomness wrapper (globalrand taint
+// neither propagates out of sim nor is reported inside it).
+var Dettaint = &Analyzer{
+	Name:       "dettaint",
+	Doc:        "flag call chains that transitively reach the wall clock, global rand, or map-order-dependent helpers",
+	RunProgram: runDettaint,
+}
+
+// Taint kinds, in reporting order.
+const (
+	taintWallclock  = "wallclock"
+	taintGlobalrand = "globalrand"
+	taintMaporder   = "maporder"
+)
+
+var taintKinds = []string{taintWallclock, taintGlobalrand, taintMaporder}
+
+// randConstructors are the math/rand functions that build seeded
+// sources — exactly what deterministic code should call. rand.New is
+// excluded here too: the per-package globalrand rule performs the
+// seeded-argument check dettaint cannot do at graph level.
+var randConstructors = map[string]bool{
+	"NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true, "New": true,
+}
+
+func runDettaint(pass *ProgramPass) {
+	g := pass.Graph
+	ids := g.SortedIDs()
+
+	// Classify sources. External leaves give wallclock/globalrand taint;
+	// loaded functions that return map-order-dependent values are
+	// maporder sources, remembered with the offending return position.
+	sources := map[FuncID]map[string]bool{}
+	maporderPos := map[FuncID]token.Pos{}
+	addSource := func(id FuncID, kind string) {
+		if sources[id] == nil {
+			sources[id] = map[string]bool{}
+		}
+		sources[id][kind] = true
+	}
+	for _, id := range ids {
+		node := g.Funcs[id]
+		if node.Decl == nil {
+			pkgPath, recv, name := splitFuncID(id)
+			if recv != "" {
+				continue // methods (e.g. (*rand.Rand).Intn on a seeded instance) are fine
+			}
+			if pkgPath == "time" && wallclockFuncs[name] {
+				addSource(id, taintWallclock)
+			}
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name] {
+				addSource(id, taintGlobalrand)
+			}
+			continue
+		}
+		if pos := mapOrderReturnPos(node.Pkg, node.Decl); pos != token.NoPos {
+			addSource(id, taintMaporder)
+			maporderPos[id] = pos
+		}
+	}
+
+	// Reverse adjacency for the taint BFS, deterministic order.
+	callers := map[FuncID][]FuncID{}
+	for _, id := range ids {
+		seen := map[FuncID]bool{}
+		for _, e := range g.Funcs[id].Calls {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				callers[e.Callee] = append(callers[e.Callee], id)
+			}
+		}
+	}
+	for _, cs := range callers {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+
+	// BFS per kind from the sources, respecting propagation barriers.
+	dist := map[string]map[FuncID]int{}
+	for _, kind := range taintKinds {
+		d := map[FuncID]int{}
+		var frontier []FuncID
+		for _, id := range ids {
+			if sources[id][kind] {
+				d[id] = 0
+				frontier = append(frontier, id)
+			}
+		}
+		for len(frontier) > 0 {
+			var next []FuncID
+			for _, u := range frontier {
+				if taintBarrier(g.Funcs[u], kind) {
+					continue
+				}
+				for _, c := range callers[u] {
+					if _, ok := d[c]; !ok {
+						d[c] = d[u] + 1
+						next = append(next, c)
+					}
+				}
+			}
+			frontier = next
+		}
+		dist[kind] = d
+	}
+
+	for _, id := range ids {
+		node := g.Funcs[id]
+		if node.Decl == nil {
+			continue
+		}
+		for _, kind := range taintKinds {
+			d, tainted := dist[kind][id]
+			if !tainted || skipTaintReport(node.Pkg, kind) {
+				continue
+			}
+			if d == 0 {
+				// A maporder source reports itself; wallclock/globalrand
+				// sources are external and never reach this loop.
+				pass.Report(maporderPos[id], []string{shortFuncID(id)},
+					"returned value is chosen by map iteration order; collect and sort keys before choosing")
+				continue
+			}
+			if d == 1 && kind != taintMaporder {
+				continue // a direct time.Now / rand.Intn call: the per-package rule's finding
+			}
+			edge, chain := taintChain(g, dist[kind], id)
+			short := make([]string, len(chain))
+			for i, c := range chain {
+				short[i] = shortFuncID(c)
+			}
+			switch kind {
+			case taintWallclock:
+				pass.Report(edge.Pos, short,
+					"call chain reaches the wall clock: %s; thread the sim engine's virtual clock instead",
+					strings.Join(short, " → "))
+			case taintGlobalrand:
+				pass.Report(edge.Pos, short,
+					"call chain reaches the shared math/rand source: %s; draw from a seeded sim.Rand",
+					strings.Join(short, " → "))
+			case taintMaporder:
+				pass.Report(edge.Pos, short,
+					"call chain reaches a map-order-dependent value: %s; make the helper deterministic first",
+					strings.Join(short, " → "))
+			}
+		}
+	}
+}
+
+// taintBarrier reports whether taint of the given kind stops at node:
+// its own use is sanctioned, so callers do not inherit it.
+func taintBarrier(node *FuncNode, kind string) bool {
+	if node.Pkg == nil {
+		return false
+	}
+	switch kind {
+	case taintGlobalrand:
+		return hasPathSegment(node.Pkg.ImportPath, "sim")
+	case taintWallclock:
+		return isCmdPackage(node.Pkg)
+	}
+	return false
+}
+
+// skipTaintReport mirrors the per-package Skip exemptions.
+func skipTaintReport(pkg *Package, kind string) bool {
+	switch kind {
+	case taintWallclock:
+		return isCmdPackage(pkg)
+	case taintGlobalrand:
+		return hasPathSegment(pkg.ImportPath, "sim")
+	}
+	return false
+}
+
+// taintChain reconstructs the shortest tainted call chain from id down
+// to a source, returning the first edge taken (for the report position)
+// and the full chain including id and the source. Ties between equally
+// short callees break on source position, so the chain is deterministic.
+func taintChain(g *CallGraph, dist map[FuncID]int, id FuncID) (CallEdge, []FuncID) {
+	chain := []FuncID{id}
+	var first CallEdge
+	cur := id
+	for dist[cur] > 0 {
+		node := g.Funcs[cur]
+		var best *CallEdge
+		for i := range node.Calls {
+			e := &node.Calls[i]
+			if d, ok := dist[e.Callee]; ok && d == dist[cur]-1 {
+				best = e
+				break // Calls are in source order; first hit is the earliest site
+			}
+		}
+		if best == nil {
+			break // should not happen: BFS distance guarantees a step down
+		}
+		if cur == id {
+			first = *best
+		}
+		chain = append(chain, best.Callee)
+		cur = best.Callee
+	}
+	return first, chain
+}
+
+// mapOrderReturnPos scans a function body for a return statement inside
+// a range-over-map loop whose results mention the loop variables — the
+// "pick an arbitrary element" shape. Returns the position of the first
+// such return, or NoPos. Function literals are skipped (their returns
+// leave the closure, not the function).
+func mapOrderReturnPos(pkg *Package, fd *ast.FuncDecl) token.Pos {
+	found := token.NoPos
+	var walk func(n ast.Node, loopVars map[string]bool)
+	walk = func(n ast.Node, loopVars map[string]bool) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			if found != token.NoPos {
+				return false
+			}
+			switch s := node.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt:
+				tv, ok := pkg.Info.Types[s.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				vars := map[string]bool{}
+				for k, v := range loopVars {
+					vars[k] = v
+				}
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						vars[id.Name] = true
+					}
+				}
+				walk(s.Body, vars)
+				return false
+			case *ast.ReturnStmt:
+				if len(loopVars) == 0 {
+					return true
+				}
+				for _, res := range s.Results {
+					for name := range loopVars {
+						if mentionsIdent(res, name) {
+							found = s.Pos()
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, map[string]bool{})
+	return found
+}
+
+// shortFuncID compresses a FuncID's package path to its base for
+// readable traces: "(*repro/internal/hdfs.NameNode).journal" becomes
+// "(*hdfs.NameNode).journal", "repro/internal/vfs.WriteFile" becomes
+// "vfs.WriteFile"; stdlib names like "time.Now" are already short.
+func shortFuncID(id FuncID) string {
+	s := string(id)
+	slash := strings.LastIndex(s, "/")
+	if slash < 0 {
+		return s
+	}
+	prefix := ""
+	if strings.HasPrefix(s, "(*") {
+		prefix = "(*"
+	} else if strings.HasPrefix(s, "(") {
+		prefix = "("
+	}
+	return prefix + s[slash+1:]
+}
+
+// splitFuncID decomposes a FuncID into package path, receiver ("" for
+// package functions, "T" or "*T" for methods) and name, inverting the
+// types.Func.FullName rendering.
+func splitFuncID(id FuncID) (pkgPath, recv, name string) {
+	s := string(id)
+	if strings.HasPrefix(s, "(") {
+		inner, after, ok := strings.Cut(s[1:], ").")
+		if !ok {
+			return "", "", s
+		}
+		star := ""
+		if strings.HasPrefix(inner, "*") {
+			star, inner = "*", inner[1:]
+		}
+		dot := strings.LastIndex(inner, ".")
+		if dot < 0 {
+			return "", star + inner, after
+		}
+		return inner[:dot], star + inner[dot+1:], after
+	}
+	slash := strings.LastIndex(s, "/")
+	dot := strings.Index(s[slash+1:], ".")
+	if dot < 0 {
+		return "", "", s
+	}
+	return s[:slash+1+dot], "", s[slash+1+dot+1:]
+}

@@ -11,6 +11,13 @@
 // go/types (see load.go), runs each Analyzer over each package, applies
 // "//lint:ignore RULE reason" suppression directives, and reports stale
 // directives as unused-ignore findings. cmd/minilint is the CLI driver.
+//
+// On top of the per-package analyzers sits a whole-program layer: a
+// module-aware static call graph (callgraph.go) shared by the
+// interprocedural analyzers — dettaint (transitive determinism taint
+// with per-edge traces), lockorder (cross-function lock-order cycles)
+// and commiterr (dropped errors on durability-critical commit paths).
+// These see through helper functions the single-function rules cannot.
 package lint
 
 import (
@@ -26,6 +33,10 @@ type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Trace, set by interprocedural analyzers, is the call chain behind
+	// the finding, outermost caller first (e.g. ["a", "b", "time.Now"]).
+	// The driver prints it under the diagnostic when run with -trace.
+	Trace []string
 }
 
 func (d Diagnostic) String() string {
@@ -41,8 +52,12 @@ type Analyzer struct {
 	// Skip, when set, exempts whole packages (e.g. cmd/ binaries may use
 	// wall-clock time). Test files are never analyzed; see load.go.
 	Skip func(pkg *Package) bool
-	// Run reports findings through pass.Report.
+	// Run reports findings through pass.Report. Per-package analyzers
+	// set Run; whole-program analyzers set RunProgram instead.
 	Run func(pass *Pass)
+	// RunProgram, when set, runs once over all loaded packages with the
+	// shared call graph. Exactly one of Run and RunProgram is set.
+	RunProgram func(pass *ProgramPass)
 }
 
 // A Pass is one (analyzer, package) execution.
@@ -61,7 +76,30 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in stable order.
+// A ProgramPass is one whole-program analyzer execution: every loaded
+// package plus the shared call graph.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+	Fset     *token.FileSet
+	diags    []Diagnostic
+}
+
+// Report records a finding at pos with an optional call-chain trace
+// (outermost caller first; nil for trace-less findings).
+func (p *ProgramPass) Report(pos token.Pos, trace []string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Trace:   trace,
+	})
+}
+
+// Analyzers returns the full suite in stable order: the five
+// per-package analyzers first, then the three interprocedural ones that
+// need the whole-program call graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Wallclock,
@@ -69,7 +107,23 @@ func Analyzers() []*Analyzer {
 		Maporder,
 		Libhygiene,
 		Lockguard,
+		Dettaint,
+		Lockorder,
+		Commiterr,
 	}
+}
+
+// FastAnalyzers returns only the per-package analyzers — the subset
+// that runs without building the call graph, for the inner dev loop
+// (minilint -fast, make lint-fast).
+func FastAnalyzers() []*Analyzer {
+	var fast []*Analyzer
+	for _, a := range Analyzers() {
+		if a.Run != nil {
+			fast = append(fast, a)
+		}
+	}
+	return fast
 }
 
 // RuleUnusedIgnore is the pseudo-rule under which stale or malformed
@@ -121,43 +175,74 @@ func (d *ignoreDirective) matches(diag Diagnostic) bool {
 	return diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1
 }
 
-// Run executes every analyzer over every package, applies suppression
-// directives, reports stale ones, and returns the findings sorted by
-// position then rule.
+// Run executes every analyzer over every package (per-package analyzers
+// per package, whole-program analyzers once over the shared call graph),
+// applies suppression directives, reports stale ones, and returns the
+// findings sorted by position then rule. The call graph is built only
+// when an interprocedural analyzer is selected, so -fast runs skip its
+// cost entirely.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var all []Diagnostic
+	var raw []Diagnostic
+	var programAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+		}
+	}
 	for _, pkg := range pkgs {
-		var raw []Diagnostic
 		for _, a := range analyzers {
-			if a.Skip != nil && a.Skip(pkg) {
+			if a.Run == nil || (a.Skip != nil && a.Skip(pkg)) {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			a.Run(pass)
 			raw = append(raw, pass.diags...)
 		}
-		ignores := parseIgnores(pkg.Fset, pkg.Files)
-		for _, diag := range raw {
-			suppressed := false
-			for _, ig := range ignores {
-				if ig.matches(diag) {
-					ig.used = true
-					suppressed = true
-				}
-			}
-			if !suppressed {
-				all = append(all, diag)
+	}
+	if len(programAnalyzers) > 0 && len(pkgs) > 0 {
+		graph := BuildCallGraph(pkgs)
+		for _, a := range programAnalyzers {
+			pass := &ProgramPass{Analyzer: a, Pkgs: pkgs, Graph: graph, Fset: pkgs[0].Fset}
+			a.RunProgram(pass)
+			raw = append(raw, pass.diags...)
+		}
+	}
+	// Suppression directives match diagnostics by filename and line, so
+	// they are gathered from every package and applied globally —
+	// interprocedural findings land in whichever package the position
+	// falls in, not necessarily the package that triggered the analyzer.
+	var all []Diagnostic
+	var ignores []*ignoreDirective
+	for _, pkg := range pkgs {
+		ignores = append(ignores, parseIgnores(pkg.Fset, pkg.Files)...)
+	}
+	for _, diag := range raw {
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.matches(diag) {
+				ig.used = true
+				suppressed = true
 			}
 		}
-		for _, ig := range ignores {
-			switch {
-			case ig.malformed:
-				all = append(all, Diagnostic{Pos: ig.pos, Rule: RuleUnusedIgnore,
-					Message: "malformed directive; want //lint:ignore RULE reason"})
-			case !ig.used:
-				all = append(all, Diagnostic{Pos: ig.pos, Rule: RuleUnusedIgnore,
-					Message: fmt.Sprintf("ignore directive for %q matches no diagnostic; delete it", ig.rule)})
-			}
+		if !suppressed {
+			all = append(all, diag)
+		}
+	}
+	// A directive is stale only if its rule actually ran this invocation:
+	// under -fast, suppressions for the call-graph rules cannot match
+	// anything, and reporting them would make the fast loop cry wolf.
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, ig := range ignores {
+		switch {
+		case ig.malformed:
+			all = append(all, Diagnostic{Pos: ig.pos, Rule: RuleUnusedIgnore,
+				Message: "malformed directive; want //lint:ignore RULE reason"})
+		case !ig.used && ran[ig.rule]:
+			all = append(all, Diagnostic{Pos: ig.pos, Rule: RuleUnusedIgnore,
+				Message: fmt.Sprintf("ignore directive for %q matches no diagnostic; delete it", ig.rule)})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

@@ -38,9 +38,13 @@ type lockEvent struct {
 
 const embeddedMutex = "(embedded)"
 
-func runLockguard(pass *Pass) {
-	mutexFields := map[string]map[string]bool{} // type name -> mutex field names
-	inspectAll(pass.Pkg, func(node ast.Node) bool {
+// mutexFieldsOf scans a package for struct types guarding state with
+// sync.Mutex/RWMutex fields, returning type name -> mutex field names
+// (embeddedMutex for embedded ones). Shared by lockguard (per-method
+// discipline) and lockorder (cross-function ordering).
+func mutexFieldsOf(pkg *Package) map[string]map[string]bool {
+	mutexFields := map[string]map[string]bool{}
+	inspectAll(pkg, func(node ast.Node) bool {
 		ts, ok := node.(*ast.TypeSpec)
 		if !ok {
 			return true
@@ -50,7 +54,7 @@ func runLockguard(pass *Pass) {
 			return true
 		}
 		for _, f := range st.Fields.List {
-			if !isSyncMutexType(pass.Pkg, f.Type) {
+			if !isSyncMutexType(pkg, f.Type) {
 				continue
 			}
 			if mutexFields[ts.Name.Name] == nil {
@@ -65,6 +69,11 @@ func runLockguard(pass *Pass) {
 		}
 		return true
 	})
+	return mutexFields
+}
+
+func runLockguard(pass *Pass) {
+	mutexFields := mutexFieldsOf(pass.Pkg)
 	if len(mutexFields) == 0 {
 		return
 	}

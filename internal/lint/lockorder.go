@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"cmp"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lockorder extends lockguard's held-set tracking across static calls.
+// It builds a whole-program lock graph over the sync.Mutex/RWMutex
+// fields of guarded types (the NameNode, JobTracker, Master,
+// RegionServer discipline: a struct locks its own state through
+// recv.field.Lock()) and reports two interprocedural shapes lockguard's
+// single-method view cannot see:
+//
+//   - Deep self-deadlock: a method that, while holding a field, calls a
+//     sibling method on the same receiver that re-acquires the field two
+//     or more calls down the chain (one call deep is lockguard's
+//     finding). Chains follow same-receiver calls only, so the held and
+//     re-acquired mutex are provably the same instance.
+//
+//   - Lock-order (ABBA) cycles: one code path acquires lock B while
+//     holding lock A — directly, or anywhere down a static call chain —
+//     while another path acquires A while holding B. Locks here are
+//     type-level (pkg.Type.field): two instances of the same pair can
+//     interleave to deadlock, so a type-level cycle is reported as
+//     *potential* and each edge of the cycle is flagged at its witness
+//     acquisition site with the full call chain.
+//
+// The analysis is conservative where the graph is: calls through
+// interfaces and function values are not followed, and acquisitions
+// inside nested function literals are ignored (the closure does not run
+// under the caller's held set). A read-read chain on one RWMutex is
+// allowed, matching lockguard.
+var Lockorder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "flag cross-function lock-order cycles (ABBA) and call chains that re-acquire a held mutex",
+	RunProgram: runLockorder,
+}
+
+// A lockID names a mutex at type level: "pkg/path.Type.field".
+type lockID string
+
+// sortedMapKeys returns a map's keys in ascending order, so the
+// analysis never leaks Go's randomized map iteration order into its own
+// diagnostics — the exact property it polices.
+func sortedMapKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func makeLockID(pkg *Package, typeName, field string) lockID {
+	return lockID(pkg.ImportPath + "." + typeName + "." + printableField(field))
+}
+
+// shortLockID compresses "repro/internal/hdfs.NameNode.mu" to
+// "hdfs.NameNode.mu" for diagnostics.
+func shortLockID(l lockID) string {
+	s := string(l)
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// methodLocks is the lock summary of one guarded-type method.
+type methodLocks struct {
+	node     *FuncNode
+	pkg      *Package
+	typeName string
+	recv     string
+	events   []lockEvent // lock/rlock/unlock/runlock/defer-*/return/call, source order
+}
+
+// acqInfo records one (transitively) reachable acquisition.
+type acqInfo struct {
+	kind  string   // "lock" or "rlock"
+	chain []FuncID // callee chain from the summarized function to the acquirer
+	pos   token.Pos
+}
+
+func runLockorder(pass *ProgramPass) {
+	g := pass.Graph
+
+	// Summarize every method of every guarded type.
+	summaries := map[FuncID]*methodLocks{}
+	byType := map[string]map[string]*methodLocks{} // pkgpath.Type -> method name -> summary
+	for _, pkg := range pass.Pkgs {
+		fields := mutexFieldsOf(pkg)
+		if len(fields) == 0 {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+					continue
+				}
+				tname := recvTypeName(fd.Recv.List[0].Type)
+				if fields[tname] == nil {
+					continue
+				}
+				recv := ""
+				if len(fd.Recv.List[0].Names) > 0 {
+					recv = fd.Recv.List[0].Names[0].Name
+				}
+				if recv == "" || recv == "_" {
+					continue
+				}
+				id := declID(pkg, fd)
+				node := g.Funcs[id]
+				if node == nil || node.Decl == nil {
+					continue
+				}
+				ml := &methodLocks{node: node, pkg: pkg, typeName: tname, recv: recv,
+					events: collectLockEvents(fd.Body, recv, fields[tname])}
+				summaries[id] = ml
+				tkey := pkg.ImportPath + "." + tname
+				if byType[tkey] == nil {
+					byType[tkey] = map[string]*methodLocks{}
+				}
+				byType[tkey][fd.Name.Name] = ml
+			}
+		}
+	}
+	if len(summaries) == 0 {
+		return
+	}
+
+	reportDeepSelfDeadlock(pass, byType)
+	reportABBACycles(pass, g, summaries)
+}
+
+// --- deep self-deadlock: same-receiver call chains ---
+
+// sameRecvAcquires computes, per guarded type, the mutex fields each
+// method acquires transitively through same-receiver sibling calls,
+// remembering the shortest method-name chain ending at the acquirer.
+type fieldAcq struct {
+	kind  string
+	chain []string // method names from (exclusive) caller down to the acquirer
+}
+
+func reportDeepSelfDeadlock(pass *ProgramPass, byType map[string]map[string]*methodLocks) {
+	tkeys := make([]string, 0, len(byType))
+	for t := range byType {
+		tkeys = append(tkeys, t)
+	}
+	sort.Strings(tkeys)
+	for _, tkey := range tkeys {
+		methods := byType[tkey]
+		memo := map[string]map[string]fieldAcq{}
+		var inProgress map[string]bool
+		var reach func(name string) map[string]fieldAcq
+		reach = func(name string) map[string]fieldAcq {
+			if r, ok := memo[name]; ok {
+				return r
+			}
+			if inProgress[name] {
+				return nil // recursion: cut the cycle conservatively
+			}
+			m := methods[name]
+			if m == nil {
+				return nil
+			}
+			inProgress[name] = true
+			out := map[string]fieldAcq{}
+			for _, e := range m.events {
+				switch e.kind {
+				case "lock", "rlock":
+					if _, ok := out[e.field]; !ok {
+						out[e.field] = fieldAcq{kind: e.kind, chain: []string{name}}
+					}
+				case "call":
+					sub := reach(e.field)
+					for _, f := range sortedMapKeys(sub) {
+						if _, ok := out[f]; !ok {
+							acq := sub[f]
+							out[f] = fieldAcq{kind: acq.kind, chain: append([]string{name}, acq.chain...)}
+						}
+					}
+				}
+			}
+			delete(inProgress, name)
+			memo[name] = out
+			return out
+		}
+		inProgress = map[string]bool{}
+
+		mnames := make([]string, 0, len(methods))
+		for n := range methods {
+			mnames = append(mnames, n)
+		}
+		sort.Strings(mnames)
+		for _, mname := range mnames {
+			m := methods[mname]
+			held := map[string]string{} // field -> kind
+			for _, e := range m.events {
+				switch e.kind {
+				case "lock", "rlock":
+					held[e.field] = e.kind
+				case "unlock", "runlock":
+					delete(held, e.field)
+				case "call":
+					if len(held) == 0 {
+						continue
+					}
+					sub := reach(e.field)
+					for _, f := range sortedMapKeys(sub) {
+						acq := sub[f]
+						heldKind, isHeld := held[f]
+						if !isHeld || len(acq.chain) < 2 {
+							continue // depth 1 is lockguard's finding
+						}
+						if heldKind == "rlock" && acq.kind == "rlock" {
+							continue // read-read nests
+						}
+						chain := append([]string{mname}, acq.chain...)
+						trace := make([]string, len(chain))
+						for i, c := range chain {
+							trace[i] = shortLockTypeName(tkey) + "." + c
+						}
+						pass.Report(e.pos, trace,
+							"%s re-acquires %s.%s already held here: %s; self-deadlock through the call chain",
+							m.recv+"."+e.field+"()", m.recv, printableField(f), strings.Join(trace, " → "))
+					}
+				}
+			}
+		}
+	}
+}
+
+// shortLockTypeName compresses "repro/internal/hdfs.NameNode" to
+// "hdfs.NameNode".
+func shortLockTypeName(tkey string) string {
+	if i := strings.LastIndex(tkey, "/"); i >= 0 {
+		return tkey[i+1:]
+	}
+	return tkey
+}
+
+// --- ABBA lock-order cycles ---
+
+// orderEdge is one observed ordering: some path acquires To while
+// holding From.
+type orderEdge struct {
+	from, to lockID
+	pos      token.Pos // witness acquisition (or call) site
+	chain    []FuncID  // call chain from the holder to the acquirer
+}
+
+func reportABBACycles(pass *ProgramPass, g *CallGraph, summaries map[FuncID]*methodLocks) {
+	// reachAcq: lock acquisitions reachable from a function through
+	// static calls (any receiver), type-level.
+	memo := map[FuncID]map[lockID]acqInfo{}
+	inProgress := map[FuncID]bool{}
+	var reachAcq func(id FuncID) map[lockID]acqInfo
+	reachAcq = func(id FuncID) map[lockID]acqInfo {
+		if r, ok := memo[id]; ok {
+			return r
+		}
+		if inProgress[id] {
+			return nil
+		}
+		node := g.Funcs[id]
+		if node == nil || node.Decl == nil {
+			return nil
+		}
+		inProgress[id] = true
+		out := map[lockID]acqInfo{}
+		if ml := summaries[id]; ml != nil {
+			for _, e := range ml.events {
+				if e.kind != "lock" && e.kind != "rlock" {
+					continue
+				}
+				l := makeLockID(ml.pkg, ml.typeName, e.field)
+				if _, ok := out[l]; !ok {
+					out[l] = acqInfo{kind: e.kind, chain: []FuncID{id}, pos: e.pos}
+				}
+			}
+		}
+		for _, e := range node.Calls {
+			if e.InFuncLit {
+				continue
+			}
+			sub := reachAcq(e.Callee)
+			for _, l := range sortedMapKeys(sub) {
+				if _, ok := out[l]; !ok {
+					acq := sub[l]
+					out[l] = acqInfo{kind: acq.kind, chain: append([]FuncID{id}, acq.chain...), pos: acq.pos}
+				}
+			}
+		}
+		delete(inProgress, id)
+		memo[id] = out
+		return out
+	}
+
+	// Walk every summarized method in deterministic order, replaying the
+	// held set against its lock events and outgoing calls, recording
+	// ordering edges. First witness per (from, to) pair wins.
+	edges := map[[2]lockID]*orderEdge{}
+	addEdge := func(from, to lockID, pos token.Pos, chain []FuncID) {
+		key := [2]lockID{from, to}
+		if edges[key] == nil {
+			edges[key] = &orderEdge{from: from, to: to, pos: pos, chain: chain}
+		}
+	}
+	ids := make([]FuncID, 0, len(summaries))
+	for id := range summaries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ml := summaries[id]
+		// Merge lock events and call edges by source position.
+		type step struct {
+			pos  token.Pos
+			ev   *lockEvent
+			call *CallEdge
+		}
+		var steps []step
+		for i := range ml.events {
+			e := &ml.events[i]
+			switch e.kind {
+			case "lock", "rlock", "unlock", "runlock":
+				steps = append(steps, step{pos: e.pos, ev: e})
+			}
+		}
+		for i := range ml.node.Calls {
+			c := &ml.node.Calls[i]
+			if !c.InFuncLit {
+				steps = append(steps, step{pos: c.Pos, call: c})
+			}
+		}
+		sort.SliceStable(steps, func(i, j int) bool { return steps[i].pos < steps[j].pos })
+
+		held := map[string]string{} // own field -> kind
+		for _, s := range steps {
+			if s.ev != nil {
+				switch s.ev.kind {
+				case "lock", "rlock":
+					newLock := makeLockID(ml.pkg, ml.typeName, s.ev.field)
+					for f := range held {
+						if f != s.ev.field {
+							addEdge(makeLockID(ml.pkg, ml.typeName, f), newLock, s.ev.pos, []FuncID{id})
+						}
+					}
+					held[s.ev.field] = s.ev.kind
+				case "unlock", "runlock":
+					delete(held, s.ev.field)
+				}
+				continue
+			}
+			if len(held) == 0 {
+				continue
+			}
+			acqs := reachAcq(s.call.Callee)
+			if len(acqs) == 0 {
+				continue
+			}
+			locks := sortedMapKeys(acqs)
+			for _, f := range sortedMapKeys(held) {
+				from := makeLockID(ml.pkg, ml.typeName, f)
+				for _, l := range locks {
+					if l == from {
+						continue // self re-acquisition is the deep-self-deadlock pass's job
+					}
+					acq := acqs[l]
+					addEdge(from, l, s.call.Pos, append([]FuncID{id}, acq.chain...))
+				}
+			}
+		}
+	}
+
+	// Cycle detection: any edge whose endpoints are in one strongly
+	// connected component is part of an ordering cycle.
+	scc := lockSCCs(edges)
+	for _, k := range sortedEdgeKeys(edges) {
+		e := edges[k]
+		if scc[e.from] == 0 || scc[e.from] != scc[e.to] {
+			continue
+		}
+		trace := make([]string, len(e.chain))
+		for i, c := range e.chain {
+			trace[i] = shortFuncID(c)
+		}
+		msg := ""
+		if rev := edges[[2]lockID{e.to, e.from}]; rev != nil {
+			p := pass.Fset.Position(rev.pos)
+			msg = "the opposite order is taken at " + filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+		} else {
+			msg = "part of a larger ordering cycle"
+		}
+		pass.Report(e.pos, trace,
+			"acquires %s while holding %s (via %s); %s — potential ABBA deadlock, acquire in one consistent order",
+			shortLockID(e.to), shortLockID(e.from), strings.Join(trace, " → "), msg)
+	}
+}
+
+// sortedEdgeKeys returns the ordering-edge keys sorted by (from, to),
+// the deterministic walk order for reporting and SCC numbering.
+func sortedEdgeKeys(edges map[[2]lockID]*orderEdge) [][2]lockID {
+	keys := make([][2]lockID, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// lockSCCs assigns each lock a strongly-connected-component number,
+// leaving locks in trivial components (no cycle through them) at 0.
+func lockSCCs(edges map[[2]lockID]*orderEdge) map[lockID]int {
+	adj := map[lockID][]lockID{}
+	nodes := map[lockID]bool{}
+	for _, k := range sortedEdgeKeys(edges) {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	sorted := sortedMapKeys(nodes)
+
+	// Tarjan's algorithm, recursive (lock graphs are tiny).
+	index := map[lockID]int{}
+	low := map[lockID]int{}
+	onStack := map[lockID]bool{}
+	var stack []lockID
+	comp := map[lockID]int{}
+	next, compNum := 1, 0
+	var strong func(v lockID)
+	strong = func(v lockID) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []lockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compNum++
+				for _, m := range members {
+					comp[m] = compNum
+				}
+			}
+		}
+	}
+	for _, n := range sorted {
+		if index[n] == 0 {
+			strong(n)
+		}
+	}
+	return comp
+}

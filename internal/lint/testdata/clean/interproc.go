@@ -1,0 +1,67 @@
+// Interprocedural negatives: the shapes dettaint, lockorder and
+// commiterr must accept — deterministic helpers, a consistent lock
+// order, and commit errors that are always observed.
+package clean
+
+import (
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// firstKey picks deterministically: sorted keys, then the first. No
+// map-order taint for callers to inherit.
+func firstKey(m map[string]int) string {
+	keys := sortedKeys(m)
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0]
+}
+
+func chooseEntry(m map[string]int) string {
+	return firstKey(m)
+}
+
+// front → back is the one lock order every path takes: the lock graph
+// is acyclic, so no ABBA edge exists.
+type front struct {
+	mu   sync.Mutex
+	back *back
+}
+
+type back struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (f *front) poke() {
+	f.mu.Lock()
+	f.back.bump()
+	f.mu.Unlock()
+}
+
+func (f *front) drain() {
+	f.mu.Lock()
+	f.back.bump()
+	f.mu.Unlock()
+}
+
+func (b *back) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// persist returns the sink's error; checkAndPersist observes it. Every
+// commit on this path is accounted for.
+func persist(fs vfs.FileSystem, data []byte) error {
+	return vfs.WriteFile(fs, "/state", data)
+}
+
+func checkAndPersist(fs vfs.FileSystem, data []byte) error {
+	if err := persist(fs, data); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package dirty
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Direct wall-clock and global-rand calls are the per-package rules'
+// findings; dettaint stays silent at depth 1 and picks up every caller
+// from depth 2 on, naming the chain.
+
+func readClock() time.Time {
+	return time.Now() // want: wallclock
+}
+
+func viaHelper() time.Time {
+	return readClock() // want: dettaint
+}
+
+func viaTwoHops() int64 {
+	return viaHelper().UnixNano() // want: dettaint
+}
+
+func drawGlobal() int {
+	return rand.Intn(6) // want: globalrand
+}
+
+func viaDraw() int {
+	return drawGlobal() + 1 // want: dettaint
+}
+
+// anyKey returns from inside a range over a map: the returned element is
+// chosen by Go's randomized iteration order. The helper itself is the
+// taint source (no per-package rule covers this shape), and callers are
+// flagged at their call sites.
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k // want: dettaint
+	}
+	return ""
+}
+
+func pickVictim(m map[string]int) string {
+	return anyKey(m) // want: dettaint
+}

@@ -1,0 +1,93 @@
+package dirty
+
+import "sync"
+
+// Deep self-deadlock: outer holds mu and calls middle, which calls
+// inner, which re-acquires mu — two calls down, past lockguard's
+// single-method horizon.
+
+type deepLocker struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (d *deepLocker) outer() {
+	d.mu.Lock()
+	d.middle() // want: lockorder
+	d.mu.Unlock()
+}
+
+func (d *deepLocker) middle() {
+	d.inner()
+}
+
+func (d *deepLocker) inner() {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+// ABBA: nodeA.poke acquires nodeB.mu while holding nodeA.mu; nodeB.poke
+// takes the opposite order. Each edge of the cycle is flagged at its
+// witness call site.
+
+type nodeA struct {
+	mu   sync.Mutex
+	n    int
+	peer *nodeB
+}
+
+type nodeB struct {
+	mu   sync.Mutex
+	n    int
+	peer *nodeA
+}
+
+func (a *nodeA) poke() {
+	a.mu.Lock()
+	a.peer.touch() // want: lockorder
+	a.mu.Unlock()
+}
+
+func (a *nodeA) touch() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+func (b *nodeB) poke() {
+	b.mu.Lock()
+	b.peer.touch() // want: lockorder
+	b.mu.Unlock()
+}
+
+func (b *nodeB) touch() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Read-read chains on one RWMutex nest safely and must stay silent,
+// matching lockguard's exemption.
+
+type rwPair struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (p *rwPair) readOuter() int {
+	p.mu.RLock()
+	v := p.readMiddle()
+	p.mu.RUnlock()
+	return v
+}
+
+func (p *rwPair) readMiddle() int {
+	return p.readInner()
+}
+
+func (p *rwPair) readInner() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.v
+}

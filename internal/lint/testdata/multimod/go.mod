@@ -1,0 +1,3 @@
+module example.com/mm
+
+go 1.22

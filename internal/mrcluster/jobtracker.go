@@ -271,6 +271,9 @@ func (jt *JobTracker) killAttempt(a *attempt, reason string) {
 	jt.releaseContainer(a, "killed")
 	a.t.removeAttempt(a)
 	if a.tempPath != "" {
+		// Best-effort GC of a killed attempt's temp output: nothing was
+		// acked from it, so a failed delete costs only disk, not data.
+		//lint:ignore commiterr killed-attempt temp output is unacked; delete is best-effort
 		_ = jt.mc.DFS.Client(a.tt.id).Remove(a.tempPath, false)
 	}
 	a.t.jr.counters.Inc(mapreduce.CtrKilledTaskAttempts, 1)
@@ -1104,6 +1107,9 @@ func (jt *JobTracker) failReduceAttempt(a *attempt, cause error, crashDaemons bo
 	jt.releaseContainer(a, "failed")
 	t.removeAttempt(a)
 	if a.tempPath != "" {
+		// Same best-effort GC as killAttempt: the failed attempt's output
+		// was never acked, so its delete may fail silently.
+		//lint:ignore commiterr failed-attempt temp output is unacked; delete is best-effort
 		_ = jt.mc.DFS.Client(a.tt.id).Remove(a.tempPath, false)
 		a.tempPath = ""
 	}
@@ -1200,8 +1206,17 @@ func (jt *JobTracker) finishJob(jr *jobRun) {
 		}
 	}
 	client := jt.mc.DFS.Client(GatewayForSubmit)
+	// The _temporary dir only exists for jobs whose reducers staged
+	// output; removing it is cosmetic cleanup, not a commit.
+	//lint:ignore commiterr _temporary may not exist; cleanup is best-effort by design
 	_ = client.Remove(vfs.Join(jr.job.OutputPath, "_temporary"), true)
-	_ = vfs.WriteFile(client, vfs.Join(jr.job.OutputPath, "_SUCCESS"), nil)
+	// The _SUCCESS marker is the job's commit record: downstream readers
+	// treat its presence as "output complete". If it cannot be written
+	// the job must not report success.
+	if err := vfs.WriteFile(client, vfs.Join(jr.job.OutputPath, "_SUCCESS"), nil); err != nil {
+		jt.failJob(jr, fmt.Errorf("mrcluster: writing _SUCCESS marker: %w", err))
+		return
+	}
 	jr.state = jobSucceeded
 	jr.finishedAt = jt.mc.Engine.Now()
 	jt.m.jobsSucceeded.Inc()

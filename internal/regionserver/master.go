@@ -20,6 +20,7 @@ const (
 	EvRegionReassign = "region.reassign"
 	EvServerDead     = "server.dead"
 	EvServerJoin     = "server.join"
+	EvMergeFail      = "region.merge_fail"
 )
 
 // Master owns META — the authoritative (table, rowkey) → region → server
@@ -497,7 +498,12 @@ func (ma *Master) tick() {
 	}
 	if ma.opts.MergeMaxBytes > 0 {
 		for _, table := range ma.Tables() {
-			ma.MergeAdjacent(table, ma.opts.MergeMaxBytes)
+			// A merge flushes both source regions to store files; if that
+			// commit fails the merge is abandoned, which is safe, but the
+			// failure must land in the event log rather than vanish.
+			if _, err := ma.MergeAdjacent(table, ma.opts.MergeMaxBytes); err != nil {
+				ma.logEvent(EvMergeFail, map[string]string{"table": table, "error": err.Error()})
+			}
 		}
 	}
 }
