@@ -41,6 +41,10 @@ func TestSelfCheckDirty(t *testing.T) {
 		"dettaint.go:29 dettaint",
 		"dettaint.go:38 dettaint",
 		"dettaint.go:44 dettaint",
+		"dettaint.go:53 wallclock",
+		"dettaint.go:57 dettaint",
+		"dettaint.go:61 globalrand",
+		"dettaint.go:65 dettaint",
 		"globalrand.go:10 globalrand",
 		"globalrand.go:11 globalrand",
 		"globalrand.go:12 globalrand",

@@ -1,0 +1,107 @@
+// Command mrtrace reads exported trace files (the JSONL span logs the
+// JobTracker writes beside each job's history under /history/<jobid>/
+// in HDFS) and reprints a trace's causal structure without the cluster
+// that recorded it: the span tree, the cross-layer critical path, and
+// the blame table.
+//
+// Export the file first (hadoop fs -get /history/<jobid>/trace.jsonl),
+// or point -file at any JSONL span export.
+//
+// Usage:
+//
+//	mrtrace -file trace.jsonl -list            list trace ids, slowest first
+//	mrtrace -file trace.jsonl -trace <id>      one trace's span tree
+//	mrtrace -file trace.jsonl -critical-path   critical path of the slowest trace
+//	mrtrace -file trace.jsonl -blame           blame table of the slowest trace
+//
+// -trace combines with -critical-path/-blame to analyze a specific id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func main() {
+	file := flag.String("file", "", "trace.jsonl export to read")
+	traceID := flag.String("trace", "", "trace id to print (default: the slowest)")
+	list := flag.Bool("list", false, "list trace ids, slowest first")
+	critPath := flag.Bool("critical-path", false, "print the trace's critical path")
+	blame := flag.Bool("blame", false, "print the trace's blame table")
+	flag.Parse()
+
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	spans, err := trace.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+	sums := trace.Slowest(trace.Summaries(spans), 0)
+	if len(sums) == 0 {
+		fmt.Println("no traced spans in", *file)
+		return
+	}
+
+	if *list {
+		for _, s := range sums {
+			name := s.Root.Name
+			if name == "" {
+				name = "(root span not recorded)"
+			}
+			fmt.Printf("%-22s %-20s %10v  %3d span(s)\n",
+				s.ID, name, s.Duration.Round(time.Microsecond), s.Spans)
+		}
+		return
+	}
+
+	id := obs.TraceID(*traceID)
+	if id == "" {
+		id = sums[0].ID // the slowest
+	}
+	var picked []obs.Span
+	for _, s := range spans {
+		if s.Trace == id {
+			picked = append(picked, s)
+		}
+	}
+	if len(picked) == 0 {
+		fatal(fmt.Errorf("no trace %q in %s (try -list)", id, *file))
+	}
+	roots := trace.Build(picked)
+	best := roots[0]
+	for _, r := range roots {
+		if r.Span.Duration() > best.Span.Duration() {
+			best = r
+		}
+	}
+	if !*critPath && !*blame {
+		fmt.Printf("trace %s — %d span(s)\n", id, len(picked))
+		for _, r := range roots {
+			fmt.Print(trace.RenderTree(r))
+		}
+		return
+	}
+	steps := trace.CriticalPath(best)
+	if *critPath {
+		fmt.Print(trace.RenderCriticalPath(steps))
+	}
+	if *blame {
+		fmt.Print(trace.RenderBlame(trace.BlameTable(steps)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrtrace:", err)
+	os.Exit(1)
+}

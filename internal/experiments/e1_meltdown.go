@@ -69,6 +69,11 @@ func E1Meltdown(seed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Production-scale replay: 35 jobs, fault-driven resubmissions, tens
+	// of attempts each. Head-sample 1-in-8 job traces — keep-everything is
+	// the teaching default; a deadline crunch is where sampling earns its
+	// keep (unsampled jobs still record their flat spans as before).
+	c.Obs.SetTraceSampling(8)
 	for _, dn := range c.DFS.DataNodes() {
 		dn.SetPreloadedBytes(preloadBytes)
 	}

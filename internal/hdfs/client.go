@@ -60,6 +60,11 @@ type Client struct {
 
 	// Meter records modelled I/O cost and locality for this client.
 	Meter Meter
+	// Trace, when valid, parents the client's HDFS spans (write pipelines,
+	// block reads) under the caller's trace — how a reduce attempt's
+	// critical path reaches into the DataNode layer. Zero value: spans
+	// record flat, exactly as before tracing existed.
+	Trace obs.Ctx
 	// AutoAdvance, when set, advances the sim clock by each operation's
 	// modelled cost — right for interactive flows (shell sessions, data
 	// staging); the MapReduce runtime leaves it off and schedules task
@@ -186,6 +191,7 @@ func (c *Client) writeBlock(f *inode, path string, data []byte) error {
 	}
 	var written []cluster.NodeID
 	var bottleneck time.Duration
+	var bottleneckNode string
 	prev := c.from
 	for _, t := range targets {
 		dn := c.nn.datanodes[t]
@@ -210,9 +216,11 @@ func (c *Client) writeBlock(f *inode, path string, data []byte) error {
 		}
 		if hop > bottleneck {
 			bottleneck = hop
+			bottleneckNode = dn.Hostname()
 		}
 		if diskCost > bottleneck {
 			bottleneck = diskCost
+			bottleneckNode = dn.Hostname()
 		}
 		written = append(written, t)
 		prev = t
@@ -229,10 +237,11 @@ func (c *Client) writeBlock(f *inode, path string, data []byte) error {
 		c.m.pipelineShrunk.Inc()
 	}
 	start := c.eng.Now()
-	c.obs.Span(SpanWritePipeline, time.Duration(start), time.Duration(start)+bottleneck, map[string]string{
+	c.obs.ChildSpan(c.Trace, SpanWritePipeline, time.Duration(start), time.Duration(start)+bottleneck, map[string]string{
 		"block":    fmt.Sprint(id),
 		"bytes":    fmt.Sprint(len(data)),
 		"replicas": fmt.Sprint(len(written)),
+		"node":     bottleneckNode,
 	})
 	c.charge(false, bottleneck)
 	return nil
@@ -292,6 +301,17 @@ func (c *Client) readBlock(id BlockID) ([]byte, error) {
 			c.m.bytesReadRemote.Add(int64(len(data)))
 		}
 		c.m.readBlockTime.Observe(total)
+		// Traced clients (task attempts) get a read span under their
+		// attempt; untraced bulk readers stay span-free — block reads are
+		// far too hot to record unconditionally.
+		if c.Trace.Valid() {
+			start := time.Duration(c.eng.Now())
+			c.obs.ChildSpan(c.Trace, SpanReadBlock, start, start+total, map[string]string{
+				"block": fmt.Sprint(id),
+				"bytes": fmt.Sprint(len(data)),
+				"node":  dn.Hostname(),
+			})
+		}
 		c.charge(true, total)
 		return data, nil
 	}

@@ -39,6 +39,10 @@ type DataNode struct {
 	// FailNextWrites makes the next n block writes fail (fault injection).
 	FailNextWrites int
 
+	// slow multiplies modelled disk costs (fault injection: a degraded
+	// spindle). 0 or 1 means a healthy disk.
+	slow float64
+
 	// muteUntil suppresses heartbeats and block reports before this
 	// instant (fault injection): the daemon keeps running and serving
 	// data, but the NameNode stops hearing from it.
@@ -154,6 +158,24 @@ func (dn *DataNode) DropHeartbeatsFor(d time.Duration) {
 
 func (dn *DataNode) muted() bool { return dn.eng.Now() < dn.muteUntil }
 
+// SetDiskSlowdown degrades (or restores, with f <= 1) the node's disk by
+// multiplying modelled read/write costs — the classic straggler cause the
+// tracing lab asks students to find from the trace waterfall alone.
+func (dn *DataNode) SetDiskSlowdown(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	dn.slow = f
+}
+
+// diskCost applies the configured slowdown to a modelled disk cost.
+func (dn *DataNode) diskCost(d time.Duration) time.Duration {
+	if dn.slow > 1 {
+		return time.Duration(float64(d) * dn.slow)
+	}
+	return d
+}
+
 func (dn *DataNode) sendHeartbeat() {
 	if dn.alive && !dn.muted() {
 		dn.m.heartbeatsSent.Inc()
@@ -187,7 +209,7 @@ func (dn *DataNode) writeBlock(id BlockID, data []byte) (time.Duration, error) {
 	cp := append([]byte(nil), data...)
 	dn.blocks[id] = &storedBlock{data: cp, sum: checksum(cp)}
 	dn.used += int64(len(cp))
-	cost := dn.cost.DiskWrite(int64(len(cp)))
+	cost := dn.diskCost(dn.cost.DiskWrite(int64(len(cp))))
 	dn.m.blocksWritten.Inc()
 	dn.m.bytesWritten.Add(int64(len(cp)))
 	dn.m.diskWriteTime.Observe(cost)
@@ -204,7 +226,7 @@ func (dn *DataNode) readBlock(id BlockID) ([]byte, time.Duration, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("hdfs: %v not on %s", id, dn.node.Hostname)
 	}
-	cost := dn.cost.DiskRead(int64(len(sb.data)))
+	cost := dn.diskCost(dn.cost.DiskRead(int64(len(sb.data))))
 	if checksum(sb.data) != sb.sum {
 		dn.m.checksumFailures.Inc()
 		return nil, cost, &ChecksumError{Block: id, Node: dn.node.Hostname}

@@ -51,6 +51,7 @@ const (
 	SpanSafeMode      = "hdfs.safemode"
 	SpanRereplicate   = "hdfs.rereplicate"
 	SpanWritePipeline = "hdfs.write_pipeline"
+	SpanReadBlock     = "hdfs.read_block"
 )
 
 // nnMetrics holds the NameNode's interned metric handles so the hot

@@ -28,7 +28,13 @@ type Config struct {
 	HeartbeatExpiry     time.Duration
 	BlockReportInterval time.Duration
 	ReplMonitorInterval time.Duration
-	SafeModeThreshold   float64
+	// ReplRetryBackoff is how long the replication monitor waits before
+	// re-attempting a block whose last re-replication attempt failed (no
+	// live source, no eligible target, partition, checksum error). Without
+	// it an unsatisfiable block — say every live node already holds a
+	// replica — re-runs target selection on every monitor tick.
+	ReplRetryBackoff  time.Duration
+	SafeModeThreshold float64
 	// RandomPlacement replaces the default writer-local/cross-rack policy
 	// with uniform random target selection — the ablation showing what
 	// the placement policy buys (map locality, rack fault tolerance).
@@ -54,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplMonitorInterval <= 0 {
 		c.ReplMonitorInterval = 3 * time.Second
+	}
+	if c.ReplRetryBackoff <= 0 {
+		c.ReplRetryBackoff = 30 * time.Second
 	}
 	if c.SafeModeThreshold <= 0 {
 		c.SafeModeThreshold = 0.999
@@ -97,6 +106,7 @@ type NameNode struct {
 
 	safeMode        bool
 	pendingRepl     map[BlockID]bool
+	replRetryAt     map[BlockID]sim.Time // failed attempts back off until here
 	decommissioning map[cluster.NodeID]bool
 
 	// metaFS, when set, persists the namespace (fsimage + edit log);
@@ -151,6 +161,7 @@ func newNameNode(eng *sim.Engine, topo *cluster.Topology, cost cluster.CostModel
 		datanodes:       map[cluster.NodeID]*DataNode{},
 		safeMode:        true,
 		pendingRepl:     map[BlockID]bool{},
+		replRetryAt:     map[BlockID]sim.Time{},
 		decommissioning: map[cluster.NodeID]bool{},
 		obs:             reg,
 		m:               newNNMetrics(reg),
@@ -183,6 +194,7 @@ func (nn *NameNode) Restart() {
 	nn.m.safeMode.Set(1)
 	nn.dns = map[cluster.NodeID]*dnInfo{}
 	nn.pendingRepl = map[BlockID]bool{}
+	nn.replRetryAt = map[BlockID]sim.Time{}
 	for _, bm := range nn.blocks {
 		bm.replicas = map[cluster.NodeID]bool{}
 		bm.corrupt = map[cluster.NodeID]bool{}
@@ -321,7 +333,7 @@ func (nn *NameNode) exitSafeMode() {
 	nn.m.safeMode.Set(0)
 	nn.m.safeModeExits.Inc()
 	nn.m.safeModeExitedAt.Set(int64(now))
-	nn.obs.Span(SpanSafeMode, time.Duration(nn.safeModeEnteredAt), time.Duration(now), nil)
+	nn.obs.SpanCtx(nn.obs.NewTrace(time.Duration(now)), SpanSafeMode, time.Duration(nn.safeModeEnteredAt), time.Duration(now), nil)
 	nn.auditEv(history.EvAuditSafemodeExit, map[string]string{"blocks": fmt.Sprint(len(nn.blocks))})
 }
 
@@ -672,6 +684,7 @@ func (nn *NameNode) replicationMonitor() {
 	}
 	// Deterministic iteration order.
 	slices.Sort(ids)
+	now := nn.eng.Now()
 	for _, id := range ids {
 		bm := nn.blocks[id]
 		live := nn.liveReplicas(bm)
@@ -679,14 +692,24 @@ func (nn *NameNode) replicationMonitor() {
 		case live == 0:
 			// Missing: nothing to copy from; fsck will report it.
 		case live < bm.expected && !nn.pendingRepl[id]:
-			nn.scheduleReplication(bm)
+			if nn.replRetryAt[id] > now {
+				continue // last attempt failed; wait out the backoff
+			}
+			if nn.scheduleReplication(bm) {
+				delete(nn.replRetryAt, id)
+			} else {
+				nn.replRetryAt[id] = now + nn.cfg.ReplRetryBackoff
+			}
 		case live > bm.expected:
 			nn.dropExcessReplica(bm)
 		}
 	}
 }
 
-func (nn *NameNode) scheduleReplication(bm *blockMeta) {
+// scheduleReplication tries to start one re-replication copy for bm and
+// reports whether a copy was scheduled; false sends the block into the
+// monitor's retry backoff.
+func (nn *NameNode) scheduleReplication(bm *blockMeta) bool {
 	// Source: the lowest-id live, non-corrupt replica holder. The sorted
 	// scan keeps the pick independent of map iteration order, so replays
 	// of the same seed re-replicate from (and hence to) the same nodes.
@@ -703,7 +726,7 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 		}
 	}
 	if src < 0 {
-		return
+		return false
 	}
 	exclude := map[cluster.NodeID]bool{}
 	for id := range bm.replicas {
@@ -714,18 +737,18 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 	}
 	targets := nn.chooseTargets(src, 1, exclude)
 	if len(targets) == 0 {
-		return
+		return false
 	}
 	dst := targets[0]
 	srcDN, dstDN := nn.datanodes[src], nn.datanodes[dst]
 	if srcDN == nil || dstDN == nil {
-		return
+		return false
 	}
 	// The copy is a data-plane transfer: a partition between source and
 	// target stalls re-replication until the network heals (or another
 	// source/target pair becomes eligible on a later monitor pass).
 	if !nn.net.Reachable(src, dst) {
-		return
+		return false
 	}
 	data, readCost, err := srcDN.readBlock(bm.id)
 	if err != nil {
@@ -733,7 +756,7 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 		if errors.As(err, &ce) {
 			nn.markCorrupt(bm.id, src)
 		}
-		return
+		return false
 	}
 	nn.pendingRepl[bm.id] = true
 	nn.m.replicationsScheduled.Inc()
@@ -745,10 +768,13 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 	xfer := nn.cost.Transfer(nn.topo.Distance(src, dst), int64(len(data)))
 	blockID := bm.id
 	start := nn.eng.Now()
-	nn.obs.Span(SpanRereplicate, time.Duration(start), time.Duration(start)+readCost+xfer, map[string]string{
+	// Re-replication is NameNode-initiated — no client request above it —
+	// so each transfer roots its own trace; "node" blames the source disk.
+	nn.obs.SpanCtx(nn.obs.NewTrace(time.Duration(start)), SpanRereplicate, time.Duration(start), time.Duration(start)+readCost+xfer, map[string]string{
 		"block": fmt.Sprint(blockID),
 		"src":   fmt.Sprint(src),
 		"dst":   fmt.Sprint(dst),
+		"node":  nn.hostname(src),
 	})
 	nn.eng.After(readCost+xfer, func() {
 		delete(nn.pendingRepl, blockID)
@@ -765,6 +791,7 @@ func (nn *NameNode) scheduleReplication(bm *blockMeta) {
 		meta.replicas[dst] = true
 		nn.m.replicationsCompleted.Inc()
 	})
+	return true
 }
 
 func (nn *NameNode) dropExcessReplica(bm *blockMeta) {

@@ -10,13 +10,15 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/history"
 	"repro/internal/jobs"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
 // The golden-trace tests pin one seed byte-for-byte; this sweep pins the
 // determinism *property* across many seeds: every (job, seed) pair, run
 // twice from fresh clusters, must reproduce the identical obs snapshot,
-// NameNode audit log, persisted job-history file and job output bytes.
+// NameNode audit log, persisted job-history file, persisted trace export
+// and job output bytes.
 // It is the gate that lets hot-path rewrites (event queue, record
 // framing, sort strategies) land with confidence that no code path
 // smuggled in map-iteration order or pointer-identity dependence at
@@ -27,6 +29,7 @@ type sweepArtifacts struct {
 	snapshot []byte // full obs export: counters, gauges, histograms, spans
 	audit    []byte // NameNode audit log
 	events   []byte // job history events.jsonl as persisted into HDFS
+	traces   []byte // causal-trace export trace.jsonl as persisted into HDFS
 	output   []byte // reducer output files, concatenated in sorted order
 }
 
@@ -47,6 +50,9 @@ func captureRun(t *testing.T, seed int64, build func(c *core.MiniCluster) (jobID
 	}
 	if a.events, err = vfs.ReadFile(c.FS(), history.EventsPath(jobID)); err != nil {
 		t.Fatalf("job history for %s not persisted: %v", jobID, err)
+	}
+	if a.traces, err = vfs.ReadFile(c.FS(), trace.Path(jobID)); err != nil {
+		t.Fatalf("trace export for %s not persisted: %v", jobID, err)
 	}
 	infos, err := c.FS().List("/out")
 	if err != nil {
@@ -104,6 +110,7 @@ func diffArtifacts(t *testing.T, what string, seed int64, a, b sweepArtifacts) {
 	check("obs snapshots", a.snapshot, b.snapshot)
 	check("audit logs", a.audit, b.audit)
 	check("history event files", a.events, b.events)
+	check("trace exports", a.traces, b.traces)
 	check("outputs", a.output, b.output)
 }
 

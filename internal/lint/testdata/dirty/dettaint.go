@@ -43,3 +43,24 @@ func anyKey(m map[string]int) string {
 func pickVictim(m map[string]int) string {
 	return anyKey(m) // want: dettaint
 }
+
+// Trace identity must derive from the sim clock and registry sequence
+// counters (internal/obs mints TraceID/SpanID that way): IDs minted from
+// the wall clock or the process-global rand differ on every replay and
+// break the byte-stable trace-export goldens.
+
+func wallClockTraceID() int64 {
+	return time.Now().UnixNano() // want: wallclock
+}
+
+func traceIDFromClock() int64 {
+	return wallClockTraceID() // want: dettaint
+}
+
+func randSpanID() int64 {
+	return rand.Int63() // want: globalrand
+}
+
+func spanIDFromRand() int64 {
+	return randSpanID() | 1 // want: dettaint
+}

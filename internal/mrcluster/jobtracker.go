@@ -13,7 +13,9 @@ import (
 	"repro/internal/history"
 	"repro/internal/iofmt"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/yarn"
 )
@@ -40,6 +42,12 @@ type task struct {
 	output   *mapreduce.MapOutput // completed map output
 	outputOn cluster.NodeID
 
+	// ctx parents every attempt of this task in the job's trace; it is
+	// allocated lazily at the first attempt launch (firstStart), and its
+	// span records when the task completes.
+	ctx        obs.Ctx
+	firstStart sim.Time
+
 	cachedID string // interned id(): built once, reused by every event
 }
 
@@ -65,6 +73,9 @@ type attempt struct {
 	timer       sim.Timer
 	dead        bool
 	tempPath    string // reduce attempts: uncommitted output
+	// ctx is the attempt's node in the job trace: a child of the task
+	// span, parent of the attempt's shuffle and HDFS spans.
+	ctx obs.Ctx
 	// container hosts the attempt in YARN mode (nil in slot mode).
 	container *yarn.Container
 
@@ -109,6 +120,10 @@ type jobRun struct {
 	// hist is the job's history file in the making: every lifecycle event
 	// from submit to finish, persisted into HDFS when the job completes.
 	hist *history.Log
+
+	// ctx roots the job's trace (invalid when head sampling dropped it:
+	// every downstream span then records flat, exactly as before tracing).
+	ctx obs.Ctx
 
 	// YARN mode: the job's application handle plus the outstanding
 	// (unserved) container-request counts syncRequests reconciles.
@@ -353,6 +368,45 @@ func (jt *JobTracker) persistHistory(jr *jobRun) {
 	}
 	jt.m.historyFilesPersisted.Inc()
 	jt.m.historyBytesPersisted.Add(int64(len(data)))
+	// The job's trace export lands beside the history file — same dir,
+	// same lifecycle, same byte-stability contract.
+	if spans := jt.mc.Obs.SpansTraced(jr.ctx.Trace()); len(spans) > 0 {
+		tdata, err := trace.Marshal(spans)
+		if err != nil {
+			return
+		}
+		if err := vfs.WriteFile(client, trace.Path(jr.id), tdata); err != nil {
+			return
+		}
+		jt.m.tracesPersisted.Inc()
+	}
+}
+
+// traceAttempt hangs a freshly launched attempt in the job trace:
+// the task node is allocated lazily on its first attempt (that launch
+// instant is what the eventual mr.task span starts at), and the attempt
+// becomes its child.
+func (jt *JobTracker) traceAttempt(a *attempt) {
+	t := a.t
+	if !t.ctx.Valid() {
+		t.ctx = t.jr.ctx.NewChild()
+		t.firstStart = a.startedAt
+	}
+	a.ctx = t.ctx.NewChild()
+}
+
+// taskSpan records a task's first-launch-to-completion span — the parent
+// of its attempt spans in the trace tree.
+func (jt *JobTracker) taskSpan(t *task) {
+	kind := "reduce"
+	if t.isMap {
+		kind = "map"
+	}
+	jt.mc.Obs.SpanCtx(t.ctx, SpanTask, time.Duration(t.firstStart), time.Duration(jt.mc.Engine.Now()), map[string]string{
+		"task": t.id(),
+		"job":  t.jr.id,
+		"kind": kind,
+	})
 }
 
 // attemptSpan records a task attempt's lifetime span with its outcome.
@@ -373,7 +427,7 @@ func (jt *JobTracker) attemptSpan(a *attempt, outcome string) {
 	if a.speculative {
 		attrs["speculative"] = "true"
 	}
-	jt.mc.Obs.Span(name, time.Duration(a.startedAt), time.Duration(jt.mc.Engine.Now()), attrs)
+	jt.mc.Obs.SpanCtx(a.ctx, name, time.Duration(a.startedAt), time.Duration(jt.mc.Engine.Now()), attrs)
 }
 
 func (t *task) removeAttempt(a *attempt) {
@@ -421,6 +475,7 @@ func (jt *JobTracker) submit(job *mapreduce.Job) (*JobHandle, error) {
 		submittedAt: jt.mc.Engine.Now(),
 		hist:        history.NewLog(jt.m.historyEvents),
 	}
+	jr.ctx = jt.mc.Obs.NewTrace(time.Duration(jr.submittedAt))
 	for i, s := range splits {
 		jr.maps = append(jr.maps, &task{jr: jr, isMap: true, idx: i, split: s})
 	}
@@ -695,11 +750,13 @@ func (jt *JobTracker) startMapAttempt(t *task, tt *TaskTracker, speculative bool
 		jr.counters.Inc(mapreduce.CtrSpeculativeLaunch, 1)
 		jt.m.speculativeLaunch.Inc()
 	}
+	jt.traceAttempt(a)
 	jt.histAttemptStart(a, -1)
 
 	// Execute the user code now (real data, exact results); the modelled
 	// duration decides when the completion event lands.
 	client := jt.mc.DFS.Client(tt.id)
+	client.Trace = a.ctx
 	var taskFS vfs.FileSystem = client
 	if jt.mc.cfg.DistributedCache && len(jr.job.SideFiles) > 0 {
 		// Localise side files once per tracker; tasks then read the node-
@@ -802,6 +859,7 @@ func (jt *JobTracker) completeMapAttempt(a *attempt, out *mapreduce.MapOutput, c
 	jr.counters.Inc(mapreduce.CtrHDFSBytesRead, meter.BytesRead())
 	jt.m.mapAttemptTime.Observe(dur)
 	jt.attemptSpan(a, "succeeded")
+	jt.taskSpan(t)
 	jt.histAttemptEnd(a, history.EvAttemptFinish, nil)
 	if a.speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
@@ -914,6 +972,7 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 		jr.counters.Inc(mapreduce.CtrSpeculativeLaunch, 1)
 		jt.m.speculativeLaunch.Inc()
 	}
+	jt.traceAttempt(a)
 
 	// Shuffle cost: fetch this reducer's partition from every map node,
 	// ShuffleParallelism streams at a time. With CompressShuffle the wire
@@ -954,9 +1013,17 @@ func (jt *JobTracker) startReduceAttempt(t *task, tt *TaskTracker, speculative b
 	}
 	jt.m.shuffleBytes.Add(shuffleBytes)
 	jt.m.shuffleTime.Observe(shuffleTime)
+	if a.ctx.Valid() {
+		jt.mc.Obs.ChildSpan(a.ctx, SpanShuffle, time.Duration(a.startedAt), time.Duration(a.startedAt)+shuffleTime, map[string]string{
+			"attempt": a.id(),
+			"bytes":   fmt.Sprint(shuffleBytes),
+			"node":    tt.node.Hostname,
+		})
+	}
 	jt.histAttemptStart(a, shuffleTime)
 
 	client := jt.mc.DFS.Client(tt.id)
+	client.Trace = a.ctx
 	ctx := mapreduce.NewTaskContext(jr.id, a.id(), client, jr.job)
 	ctx.Counters.Inc(mapreduce.CtrShuffleBytes, shuffleBytes)
 	ow, err := mapreduce.NewOutputWriter(jr.job)
@@ -1085,6 +1152,7 @@ func (jt *JobTracker) completeReduceAttempt(a *attempt, ctx *mapreduce.TaskConte
 	jr.counters.Inc(mapreduce.CtrHDFSBytesWritten, bytesWritten)
 	jt.m.reduceAttemptTime.Observe(dur)
 	jt.attemptSpan(a, "succeeded")
+	jt.taskSpan(t)
 	jt.histAttemptEnd(a, history.EvAttemptFinish, nil)
 	if a.speculative {
 		jr.counters.Inc(mapreduce.CtrSpeculativeWon, 1)
@@ -1231,7 +1299,7 @@ func (jt *JobTracker) finishJob(jr *jobRun) {
 
 // jobSpan records a job's submit-to-finish span with its outcome.
 func (jt *JobTracker) jobSpan(jr *jobRun, outcome string) {
-	jt.mc.Obs.Span(SpanJob, time.Duration(jr.submittedAt), time.Duration(jr.finishedAt), map[string]string{
+	jt.mc.Obs.SpanCtx(jr.ctx, SpanJob, time.Duration(jr.submittedAt), time.Duration(jr.finishedAt), map[string]string{
 		"job":     jr.id,
 		"name":    jr.job.Name,
 		"outcome": outcome,

@@ -28,11 +28,14 @@ const (
 	MetricMapAttemptTime      = "mr.map_attempt_time"
 	MetricReduceAttemptTime   = "mr.reduce_attempt_time"
 	MetricShuffleTime         = "mr.shuffle_time"
+	MetricJTTracesPersisted   = "mr.jt.traces_persisted"
 
 	// Span names.
 	SpanMapAttempt    = "mr.map_attempt"
 	SpanReduceAttempt = "mr.reduce_attempt"
 	SpanJob           = "mr.job"
+	SpanTask          = "mr.task"
+	SpanShuffle       = "mr.shuffle"
 )
 
 // jtMetrics holds the JobTracker's interned metric handles.
@@ -63,6 +66,7 @@ type jtMetrics struct {
 	historyEvents         *obs.Counter
 	historyFilesPersisted *obs.Counter
 	historyBytesPersisted *obs.Counter
+	tracesPersisted       *obs.Counter
 }
 
 func newJTMetrics(r *obs.Registry) jtMetrics {
@@ -91,5 +95,6 @@ func newJTMetrics(r *obs.Registry) jtMetrics {
 		historyEvents:         r.Counter(history.MetricJobEvents),
 		historyFilesPersisted: r.Counter(history.MetricFilesPersisted),
 		historyBytesPersisted: r.Counter(history.MetricBytesPersisted),
+		tracesPersisted:       r.Counter(MetricJTTracesPersisted),
 	}
 }

@@ -131,11 +131,17 @@ func (h *Histogram) Sum() time.Duration {
 
 // Span is one completed operation on the virtual clock. Start and End
 // are instants on the sim engine's clock (durations since engine start).
+// Trace/ID/Parent carry the causal identity of spans recorded through an
+// obs.Ctx (see trace.go); spans recorded without a context leave all
+// three zero and serialize exactly as they always did (omitempty).
 type Span struct {
-	Name  string            `json:"name"`
-	Start time.Duration     `json:"start_ns"`
-	End   time.Duration     `json:"end_ns"`
-	Attrs map[string]string `json:"attrs,omitempty"`
+	Name   string            `json:"name"`
+	Start  time.Duration     `json:"start_ns"`
+	End    time.Duration     `json:"end_ns"`
+	Trace  TraceID           `json:"trace,omitempty"`
+	ID     SpanID            `json:"span,omitempty"`
+	Parent SpanID            `json:"parent,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // Duration returns the span's extent.
@@ -149,6 +155,17 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    []Span
+
+	// byName indexes spans by name (positions into spans), so the webui
+	// timeline's per-job lookups don't re-scan every span on every request.
+	byName map[string][]int
+
+	// Causal-tracing state (see trace.go): per-registry sequence counters
+	// — never wall clock, never math/rand — so trace and span IDs replay
+	// byte-identically, plus the head-sampling modulus.
+	traceSeq    uint64
+	spanSeq     uint64
+	sampleEvery uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -157,6 +174,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		byName:   map[string][]int{},
 	}
 }
 
@@ -214,8 +232,14 @@ func (r *Registry) Span(name string, start, end time.Duration, attrs map[string]
 		return
 	}
 	r.mu.Lock()
-	r.spans = append(r.spans, Span{Name: name, Start: start, End: end, Attrs: attrs})
+	r.record(Span{Name: name, Start: start, End: end, Attrs: attrs})
 	r.mu.Unlock()
+}
+
+// record appends a span and maintains the by-name index. Callers hold r.mu.
+func (r *Registry) record(s Span) {
+	r.byName[s.Name] = append(r.byName[s.Name], len(r.spans))
+	r.spans = append(r.spans, s)
 }
 
 // Spans returns a copy of all recorded spans in record order.
@@ -229,7 +253,29 @@ func (r *Registry) Spans() []Span {
 }
 
 // SpansNamed returns the recorded spans with the given name, in order.
+// Served from the by-name index: cost is proportional to the matches,
+// not to every span ever recorded (the webui timeline calls this per
+// request on registries holding thousands of pipeline spans).
 func (r *Registry) SpansNamed(name string) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.byName[name]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Span, len(idx))
+	for i, j := range idx {
+		out[i] = r.spans[j]
+	}
+	return out
+}
+
+// spansNamedScan is the pre-index implementation, kept as the benchmark
+// baseline for BenchmarkSpansNamed.
+func (r *Registry) spansNamedScan(name string) []Span {
 	var out []Span
 	for _, s := range r.Spans() {
 		if s.Name == name {

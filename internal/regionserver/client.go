@@ -2,8 +2,10 @@ package regionserver
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -22,6 +24,15 @@ type Client struct {
 
 	locs        map[string][]RegionInfo // per-table location cache
 	maxAttempts int
+
+	// TraceEvery is the client-side trace stride: every TraceEvery-th
+	// request roots a serving.request trace (cache lookup and per-attempt
+	// region calls hang below it). The serving data path is far too hot to
+	// trace every op — the default keeps the E13 benchmark's allocation
+	// profile flat. Set to 1 to trace everything (tests, labs); <= 0
+	// disables request tracing entirely.
+	TraceEvery int
+	reqSeq     uint64
 }
 
 func newClient(ma *Master, cache *CacheTier) *Client {
@@ -33,7 +44,35 @@ func newClient(ma *Master, cache *CacheTier) *Client {
 		cache:       cache,
 		locs:        map[string][]RegionInfo{},
 		maxAttempts: 4,
+		TraceEvery:  64,
 	}
+}
+
+// reqCtx applies the client-side stride and roots a trace for sampled
+// requests (invalid Ctx otherwise — every downstream span then no-ops).
+func (cl *Client) reqCtx(at sim.Time) obs.Ctx {
+	if cl.TraceEvery <= 0 {
+		return obs.Ctx{}
+	}
+	cl.reqSeq++
+	if (cl.reqSeq-1)%uint64(cl.TraceEvery) != 0 {
+		return obs.Ctx{}
+	}
+	return cl.m.reg.NewTrace(at)
+}
+
+// requestSpan closes a sampled request's root span.
+func (cl *Client) requestSpan(ctx obs.Ctx, op, table string, at, done sim.Time, err error) {
+	if !ctx.Valid() {
+		return
+	}
+	result := "ok"
+	if err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+		result = "error"
+	}
+	ctx.End(SpanRequest, at, done, map[string]string{
+		"op": op, "table": table, "result": result,
+	})
 }
 
 // Cache returns the client's cache tier (nil when uncached).
@@ -81,8 +120,10 @@ func retryable(err error) bool {
 
 // do runs one routed op with the NotServing retry loop: attempt, and on
 // a stale-location error refresh META and go again (bounded). The op
-// callback performs the server call at the given arrival time.
-func (cl *Client) do(at sim.Time, table, key string,
+// callback performs the server call at the given arrival time. When ctx
+// is a sampled trace, every attempt — including the retries that used to
+// be a bare counter — records a serving.region_call span under it.
+func (cl *Client) do(ctx obs.Ctx, at sim.Time, table, key string,
 	op func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error)) (sim.Time, error) {
 	now := at
 	stale := false
@@ -91,18 +132,22 @@ func (cl *Client) do(at sim.Time, table, key string,
 		if attempt > 0 {
 			cl.m.retries.Inc()
 		}
+		callStart := now
 		info, srv, t, err := cl.route(now, table, key, stale)
 		now = t
 		if err != nil {
+			cl.regionCallSpan(ctx, RegionInfo{}, attempt, callStart, now, err)
 			return now, err
 		}
 		done, err := op(info, srv, now)
 		if err == nil || !retryable(err) {
+			cl.regionCallSpan(ctx, info, attempt, callStart, done+cl.cost.RTT, err)
 			return done + cl.cost.RTT, err
 		}
 		lastErr = err
 		now = done
 		stale = true
+		cl.regionCallSpan(ctx, info, attempt, callStart, now, err)
 		if errors.Is(err, ErrServerDown) && attempt > 0 {
 			// Refreshed and still down: META hasn't moved the region yet.
 			// Recovery takes virtual time; hand the backoff to the caller.
@@ -112,20 +157,58 @@ func (cl *Client) do(at sim.Time, table, key string,
 	return now, lastErr
 }
 
+// regionCallSpan records one routed attempt under a sampled request.
+func (cl *Client) regionCallSpan(ctx obs.Ctx, info RegionInfo, attempt int, start, end sim.Time, err error) {
+	if !ctx.Valid() {
+		return
+	}
+	result := "ok"
+	switch {
+	case errors.Is(err, ErrNotServing):
+		result = "not_serving"
+	case errors.Is(err, ErrServerDown):
+		result = "server_down"
+	case err != nil && !errors.Is(err, kvstore.ErrNotFound):
+		result = "error"
+	}
+	cl.m.reg.ChildSpan(ctx, SpanRegionCall, start, end, map[string]string{
+		"region":  info.ID,
+		"server":  info.Srv,
+		"attempt": fmt.Sprint(attempt),
+		"result":  result,
+	})
+}
+
 // Get reads one row, through the cache tier when present (hit: served
 // from the shard; miss: read through and fill). kvstore.ErrNotFound is
 // the absent-row result, not a failure.
 func (cl *Client) Get(at sim.Time, table, key string) ([]byte, sim.Time, error) {
+	ctx := cl.reqCtx(at)
+	v, done, err := cl.get(ctx, at, table, key)
+	cl.requestSpan(ctx, "get", table, at, done, err)
+	return v, done, err
+}
+
+func (cl *Client) get(ctx obs.Ctx, at sim.Time, table, key string) ([]byte, sim.Time, error) {
 	now := at
 	if cl.cache != nil {
 		v, ok, done := cl.cache.Get(now, table, key)
+		if ctx.Valid() {
+			result := "miss"
+			if ok {
+				result = "hit"
+			}
+			cl.m.reg.ChildSpan(ctx, SpanCacheLookup, now, done, map[string]string{
+				"table": table, "result": result,
+			})
+		}
 		if ok {
 			return v, done, nil
 		}
 		now = done
 	}
 	var val []byte
-	done, err := cl.do(now, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+	done, err := cl.do(ctx, now, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
 		v, d, err := srv.Get(at, info.ID, info.Epoch, key)
 		val = v
 		return d, err
@@ -139,7 +222,14 @@ func (cl *Client) Get(at sim.Time, table, key string) ([]byte, sim.Time, error) 
 // Put writes one row and invalidates its cache entry after the ack
 // (write-invalidate coherence).
 func (cl *Client) Put(at sim.Time, table, key string, value []byte) (sim.Time, error) {
-	done, err := cl.do(at, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+	ctx := cl.reqCtx(at)
+	done, err := cl.put(ctx, at, table, key, value)
+	cl.requestSpan(ctx, "put", table, at, done, err)
+	return done, err
+}
+
+func (cl *Client) put(ctx obs.Ctx, at sim.Time, table, key string, value []byte) (sim.Time, error) {
+	done, err := cl.do(ctx, at, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
 		return srv.Put(at, info.ID, info.Epoch, key, value)
 	})
 	if err == nil && cl.cache != nil {
@@ -150,29 +240,37 @@ func (cl *Client) Put(at sim.Time, table, key string, value []byte) (sim.Time, e
 
 // Delete removes one row (tombstone) and invalidates its cache entry.
 func (cl *Client) Delete(at sim.Time, table, key string) (sim.Time, error) {
-	done, err := cl.do(at, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+	ctx := cl.reqCtx(at)
+	done, err := cl.do(ctx, at, table, key, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
 		return srv.Delete(at, info.ID, info.Epoch, key)
 	})
 	if err == nil && cl.cache != nil {
 		done = cl.cache.Invalidate(done, table, key)
 	}
+	cl.requestSpan(ctx, "delete", table, at, done, err)
 	return done, err
 }
 
 // ReadModifyWrite reads the row then writes the new value — the YCSB
-// workload-F op. The read goes through the cache like any Get.
+// workload-F op. The read goes through the cache like any Get; both
+// halves nest under one serving.request span.
 func (cl *Client) ReadModifyWrite(at sim.Time, table, key string, value []byte) (sim.Time, error) {
-	_, done, err := cl.Get(at, table, key)
+	ctx := cl.reqCtx(at)
+	_, done, err := cl.get(ctx, at, table, key)
 	if err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+		cl.requestSpan(ctx, "rmw", table, at, done, err)
 		return done, err
 	}
-	return cl.Put(done, table, key, value)
+	done, err = cl.put(ctx, done, table, key, value)
+	cl.requestSpan(ctx, "rmw", table, at, done, err)
+	return done, err
 }
 
 // Scan reads up to limit rows of [start, end) (end "" = to the table's
 // end; limit <= 0 = unlimited), stitching bounded per-region scans
 // together across region boundaries. Scans bypass the cache tier.
 func (cl *Client) Scan(at sim.Time, table, start, end string, limit int) ([]kvstore.KV, sim.Time, error) {
+	ctx := cl.reqCtx(at)
 	now := at
 	var out []kvstore.KV
 	cursor := start
@@ -190,7 +288,7 @@ func (cl *Client) Scan(at sim.Time, table, start, end string, limit int) ([]kvst
 			regEnd   string
 			moreTail bool
 		)
-		done, err := cl.do(now, table, cursor, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
+		done, err := cl.do(ctx, now, table, cursor, func(info RegionInfo, srv *Server, at sim.Time) (sim.Time, error) {
 			k, n, d, err := srv.Scan(at, info.ID, info.Epoch, cursor, end, rem)
 			kvs, next = k, n
 			regEnd = info.End
@@ -199,6 +297,7 @@ func (cl *Client) Scan(at sim.Time, table, start, end string, limit int) ([]kvst
 		})
 		now = done
 		if err != nil {
+			cl.requestSpan(ctx, "scan", table, at, now, err)
 			return out, now, err
 		}
 		out = append(out, kvs...)
@@ -211,5 +310,6 @@ func (cl *Client) Scan(at sim.Time, table, start, end string, limit int) ([]kvst
 		}
 		cursor = regEnd
 	}
+	cl.requestSpan(ctx, "scan", table, at, now, nil)
 	return out, now, nil
 }

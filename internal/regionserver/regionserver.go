@@ -60,9 +60,13 @@ const (
 	// HistOpLatency is the histogram of end-to-end client op latencies.
 	HistOpLatency = "serving.op_latency"
 
-	// Span names recorded on splits and crash recoveries.
-	SpanSplit   = "serving.split"
-	SpanRecover = "serving.recover"
+	// Span names recorded on splits and crash recoveries, plus the
+	// sampled client request path (request → cache lookup → region call).
+	SpanSplit       = "serving.split"
+	SpanRecover     = "serving.recover"
+	SpanRequest     = "serving.request"
+	SpanCacheLookup = "serving.cache_lookup"
+	SpanRegionCall  = "serving.region_call"
 )
 
 // CostModel holds the virtual-time charges for the serving data path.

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderTree renders one trace tree as an indented span listing —
+// cmd/mrtrace's offline view of the webui waterfall.
+func RenderTree(root *Node) string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%-24s %10v  start %v%s\n",
+			strings.Repeat("  ", depth), n.Span.Name,
+			n.Span.Duration().Round(time.Microsecond),
+			n.Span.Start.Round(time.Microsecond), attrSuffix(n.Span.Attrs))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// renderAttrKeys is the attr subset worth a line of terminal: identity
+// and blame, not raw sizes.
+var renderAttrKeys = []string{"job", "task", "attempt", "node", "block", "op", "table", "region", "server", "app", "container", "outcome", "result", "reason"}
+
+func attrSuffix(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, k := range renderAttrKeys {
+		if v, ok := attrs[k]; ok {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
+}
+
+// RenderCriticalPath renders the root-to-leaf critical path with per-step
+// self time.
+func RenderCriticalPath(steps []Step) string {
+	var b strings.Builder
+	b.WriteString("Critical path (root -> leaf, self = time not explained by the critical child):\n")
+	for i, st := range steps {
+		node := st.Span.Attrs["node"]
+		if node == "" {
+			node = "-"
+		}
+		fmt.Fprintf(&b, "  %d. %-24s %-10s span %10v  self %10v%s\n",
+			i+1, st.Span.Name, node,
+			st.Span.Duration().Round(time.Microsecond), st.Self.Round(time.Microsecond),
+			attrSuffix(st.Span.Attrs))
+	}
+	return b.String()
+}
+
+// RenderBlame renders the aggregated blame table, biggest debtor first.
+func RenderBlame(blames []Blame) string {
+	var b strings.Builder
+	b.WriteString("Blame (critical-path self time by layer/kind/node):\n")
+	for _, bl := range blames {
+		node := bl.Node
+		if node == "" {
+			node = "-"
+		}
+		fmt.Fprintf(&b, "  %-8s %-24s %-10s %10v  (%d step(s))\n",
+			bl.Layer, bl.Kind, node, bl.Self.Round(time.Microsecond), bl.Steps)
+	}
+	return b.String()
+}

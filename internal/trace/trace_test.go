@@ -1,0 +1,140 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// fixture builds a two-trace registry: a fast trace, and a slow trace
+// whose critical path runs job -> attempt -> pipeline (the slow leaf).
+func fixture() *obs.Registry {
+	r := obs.NewRegistry()
+
+	slow := r.NewTrace(0)
+	att := slow.NewChild()
+	pipe := att.NewChild()
+	shuf := att.NewChild()
+	shuf.End("mr.shuffle", 10, 40, map[string]string{"attempt": "a1"})
+	pipe.End("hdfs.write_pipeline", 10, 90, map[string]string{"node": "node3"})
+	att.End("mr.reduce_attempt", 10, 100, map[string]string{"node": "node1"})
+	slow.End("mr.job", 0, 120, map[string]string{"job": "job_x"})
+
+	fast := r.NewTrace(time.Second)
+	fast.End("serving.request", 0, 5, map[string]string{"op": "get"})
+	return r
+}
+
+func TestBuildAndCriticalPath(t *testing.T) {
+	r := fixture()
+	spans := trace.Collect(r)
+	if len(spans) != 5 {
+		t.Fatalf("Collect = %d spans, want 5", len(spans))
+	}
+	roots := trace.Build(spans)
+	if len(roots) != 2 {
+		t.Fatalf("Build = %d roots, want 2", len(roots))
+	}
+	if roots[0].Span.Name != "mr.job" {
+		t.Fatalf("first root = %s, want mr.job (record order)", roots[0].Span.Name)
+	}
+	steps := trace.CriticalPath(roots[0])
+	var names []string
+	for _, s := range steps {
+		names = append(names, s.Span.Name)
+	}
+	want := []string{"mr.job", "mr.reduce_attempt", "hdfs.write_pipeline"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("critical path = %v, want %v", names, want)
+	}
+	// Self times: leaf keeps its duration; parents keep the rest.
+	if steps[2].Self != 80 {
+		t.Fatalf("pipeline self = %v, want 80ns", steps[2].Self)
+	}
+	if steps[1].Self != 10 { // 90 - 80
+		t.Fatalf("attempt self = %v, want 10ns", steps[1].Self)
+	}
+	if steps[0].Self != 30 { // 120 - 90
+		t.Fatalf("job self = %v, want 30ns", steps[0].Self)
+	}
+}
+
+func TestBlameTable(t *testing.T) {
+	r := fixture()
+	roots := trace.Build(trace.Collect(r))
+	blames := trace.BlameTable(trace.CriticalPath(roots[0]))
+	if len(blames) != 3 {
+		t.Fatalf("blame rows = %d, want 3", len(blames))
+	}
+	top := blames[0]
+	if top.Kind != "hdfs.write_pipeline" || top.Layer != "hdfs" || top.Node != "node3" {
+		t.Fatalf("top blame = %+v, want hdfs.write_pipeline on node3", top)
+	}
+}
+
+func TestSummariesAndSlowest(t *testing.T) {
+	r := fixture()
+	sums := trace.Summaries(trace.Collect(r))
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	slowest := trace.Slowest(sums, 1)
+	if len(slowest) != 1 || slowest[0].Root.Name != "mr.job" {
+		t.Fatalf("slowest = %+v, want the mr.job trace", slowest)
+	}
+	if slowest[0].Spans != 4 {
+		t.Fatalf("slow trace spans = %d, want 4", slowest[0].Spans)
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	r := fixture()
+	spans := trace.Collect(r)
+	data, err := trace.Marshal(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(spans) {
+		t.Fatalf("round trip = %d spans, want %d", len(back), len(spans))
+	}
+	for i := range back {
+		if back[i].Trace != spans[i].Trace || back[i].ID != spans[i].ID ||
+			back[i].Parent != spans[i].Parent || back[i].Name != spans[i].Name {
+			t.Fatalf("span %d changed across round trip: %+v vs %+v", i, back[i], spans[i])
+		}
+	}
+	data2, err := trace.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("Marshal not byte-stable across a Parse round trip")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	r := fixture()
+	roots := trace.Build(trace.Collect(r))
+	steps := trace.CriticalPath(roots[0])
+	tree := trace.RenderTree(roots[0])
+	for _, want := range []string{"mr.job", "  mr.reduce_attempt", "    hdfs.write_pipeline", "node=node3"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	cp := trace.RenderCriticalPath(steps)
+	if !strings.Contains(cp, "hdfs.write_pipeline") || !strings.Contains(cp, "self") {
+		t.Fatalf("critical path render:\n%s", cp)
+	}
+	bl := trace.RenderBlame(trace.BlameTable(steps))
+	if !strings.Contains(bl, "node3") {
+		t.Fatalf("blame render:\n%s", bl)
+	}
+}

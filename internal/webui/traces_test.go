@@ -1,0 +1,78 @@
+package webui_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTraceEndpoints mirrors TestEndpoints for the causal-tracing pages:
+// the slowest-first index, the bare /trace/ alias, and the unknown-id 404.
+func TestTraceEndpoints(t *testing.T) {
+	srv := setup(t)
+	cases := []struct {
+		path        string
+		status      int
+		contentType string
+		wants       []string
+	}{
+		{"/", http.StatusOK, textPlain, []string{"/traces", "/trace/<id>"}},
+		{"/traces", http.StatusOK, textPlain, []string{
+			"traces, slowest first", "mr.job", "job=job_wordcount_combiner_0001",
+		}},
+		{"/trace/", http.StatusOK, textPlain, []string{"traces, slowest first"}},
+		{"/trace/t999999-12345", http.StatusNotFound, "", nil},
+		{"/trace/not-a-trace", http.StatusNotFound, "", nil},
+	}
+	for _, tc := range cases {
+		code, ct, body := get(t, srv, tc.path)
+		if code != tc.status {
+			t.Fatalf("%s -> %d, want %d", tc.path, code, tc.status)
+		}
+		if tc.contentType != "" && ct != tc.contentType {
+			t.Fatalf("%s content-type = %q, want %q", tc.path, ct, tc.contentType)
+		}
+		for _, want := range tc.wants {
+			if !strings.Contains(body, want) {
+				t.Fatalf("%s missing %q:\n%s", tc.path, want, body)
+			}
+		}
+	}
+}
+
+// TestTraceWaterfall opens the job's trace from the index and checks the
+// waterfall nests the full causal chain — job, task, attempt, and the
+// HDFS spans under it — plus the critical path and blame sections.
+func TestTraceWaterfall(t *testing.T) {
+	srv := setup(t)
+	_, _, index := get(t, srv, "/traces")
+	var id string
+	for _, line := range strings.Split(index, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 && strings.HasPrefix(f[0], "t") && strings.Contains(line, "mr.job") {
+			id = f[0]
+			break
+		}
+	}
+	if id == "" {
+		t.Fatalf("no mr.job trace on the index:\n%s", index)
+	}
+	code, ct, body := get(t, srv, "/trace/"+id)
+	if code != http.StatusOK || ct != textPlain {
+		t.Fatalf("/trace/%s -> %d %q", id, code, ct)
+	}
+	for _, want := range []string{
+		"trace " + id,
+		"mr.job",
+		"  mr.task",           // nested one level under the job
+		"    mr.map_attempt",  // nested under its task
+		"hdfs.write_pipeline", // the cross-layer leaves
+		"mr.shuffle",
+		"Critical path",
+		"Blame",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/trace/%s missing %q:\n%s", id, want, body)
+		}
+	}
+}

@@ -14,6 +14,8 @@
 //	/metrics     the full obs snapshot as JSON (counters, gauges, spans)
 //	/timeline    per-job task-attempt timeline from the recorded spans
 //	/history     persisted job histories (the history server)
+//	/traces      recorded traces, slowest first
+//	/trace/<id>  one trace's waterfall, critical path and blame
 package webui
 
 import (
@@ -66,6 +68,8 @@ func Handler(c *core.MiniCluster) http.Handler {
   /metrics     cluster metrics + spans (JSON snapshot)
   /timeline    per-job task-attempt timeline
   /history     persisted job histories (history server)
+  /traces      recorded traces, slowest first
+  /trace/<id>  one trace's waterfall, critical path and blame
 `)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +108,23 @@ func Handler(c *core.MiniCluster) http.Handler {
 		}
 		return ctrs.String(), nil
 	}))
+	mux.Handle("/traces", text(func() (string, error) { return TracesPage(c.Obs), nil }))
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/trace/")
+		if id == "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, TracesPage(c.Obs))
+			return
+		}
+		body, err := TraceWaterfallPage(c.Obs, id)
+		if err != nil {
+			// No trace with that id — mirror the history server's 404.
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, body)
+	})
 	mux.Handle("/history", text(func() (string, error) { return HistoryIndexPage(c.FS()), nil }))
 	mux.HandleFunc("/history/", func(w http.ResponseWriter, r *http.Request) {
 		jobID := strings.TrimPrefix(r.URL.Path, "/history/")

@@ -124,6 +124,7 @@ func (rm *ResourceManager) grantContainer(app *Application, q *leafQueue, nm *no
 		Resource:  res,
 		AM:        isAM,
 		StartedAt: rm.eng.Now(),
+		ctx:       app.ctx.NewChild(),
 	}
 	if isAM {
 		app.amContainer = c

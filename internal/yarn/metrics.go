@@ -2,10 +2,18 @@ package yarn
 
 import "repro/internal/obs"
 
+// Span names.
+const (
+	SpanApp       = "yarn.app"
+	SpanContainer = "yarn.container"
+)
+
 // rmMetrics is the capacity ResourceManager's interned metric bundle.
 // All handles are nil-safe, so an RM built without a registry costs
-// nothing.
+// nothing. reg keeps the registry itself for span recording (nil in
+// legacy mode, where every trace operation no-ops).
 type rmMetrics struct {
+	reg                 *obs.Registry
 	events              *obs.Counter
 	appsSubmitted       *obs.Counter
 	appsFinished        *obs.Counter
@@ -20,6 +28,7 @@ type rmMetrics struct {
 
 func newRMMetrics(r *obs.Registry) rmMetrics {
 	return rmMetrics{
+		reg:                 r,
 		events:              r.Counter("rm.events"),
 		appsSubmitted:       r.Counter("rm.apps_submitted"),
 		appsFinished:        r.Counter("rm.apps_finished"),

@@ -182,6 +182,11 @@ func (rm *ResourceManager) preemptContainer(c *Container, forQueue string) {
 	rm.freeContainer(c)
 	rm.preemptions++
 	c.App.Preemptions++
+	if forQueue != "" {
+		rm.containerSpan(c, "preempt")
+	} else {
+		rm.containerSpan(c, "node_drain")
+	}
 	rm.m.containersPreempted.Inc()
 	attrs := map[string]string{
 		"container": c.idStr(),

@@ -125,6 +125,10 @@ type Container struct {
 	Tag       string
 	StartedAt sim.Time
 
+	// ctx is the container's node in its app's trace; its span records at
+	// the terminal transition (release or preemption).
+	ctx obs.Ctx
+
 	state containerState
 }
 
@@ -174,6 +178,10 @@ type Application struct {
 
 	// Preemptions counts containers this app lost to preemption.
 	Preemptions int
+
+	// ctx roots the app's trace (capacity mode; invalid when unsampled
+	// or in legacy mode).
+	ctx obs.Ctx
 
 	// --- legacy-path fields ---
 	amNode        cluster.NodeID
@@ -494,6 +502,7 @@ func (rm *ResourceManager) SubmitManaged(spec AppSpec, master AppMaster) (*Appli
 		master:      master,
 		queue:       q,
 	}
+	app.ctx = rm.m.reg.NewTrace(time.Duration(app.SubmittedAt))
 	rm.apps = append(rm.apps, app)
 	q.apps = append(q.apps, app)
 	rm.m.appsSubmitted.Inc()
@@ -572,6 +581,21 @@ func (rm *ResourceManager) CancelRequests(app *Application, tag string, n int) i
 	return removed
 }
 
+// containerSpan records a container's allocation-to-terminal span under
+// its app's trace, with the terminal reason.
+func (rm *ResourceManager) containerSpan(c *Container, reason string) {
+	attrs := map[string]string{
+		"container": c.idStr(),
+		"app":       appID(c.App),
+		"node":      fmt.Sprint(int(c.Node)),
+		"reason":    reason,
+	}
+	if c.AM {
+		attrs["am"] = "1"
+	}
+	rm.m.reg.SpanCtx(c.ctx, SpanContainer, time.Duration(c.StartedAt), time.Duration(rm.eng.Now()), attrs)
+}
+
 // Release returns a task container to the pool (capacity mode).
 func (rm *ResourceManager) Release(c *Container, reason string) {
 	if c == nil || c.state != containerLive || c.AM {
@@ -579,6 +603,7 @@ func (rm *ResourceManager) Release(c *Container, reason string) {
 	}
 	c.state = containerReleased
 	rm.freeContainer(c)
+	rm.containerSpan(c, reason)
 	rm.m.containersReleased.Inc()
 	rm.event(EvRelease, map[string]string{
 		"container": c.idStr(), "app": appID(c.App), "queue": c.App.Queue,
@@ -606,6 +631,7 @@ func (rm *ResourceManager) FinishApp(app *Application) {
 		if c.state == containerLive {
 			c.state = containerReleased
 			rm.freeContainer(c)
+			rm.containerSpan(c, "app_finish")
 			rm.m.containersReleased.Inc()
 			rm.event(EvRelease, map[string]string{
 				"container": c.idStr(), "app": appID(app), "queue": app.Queue,
@@ -619,6 +645,7 @@ func (rm *ResourceManager) FinishApp(app *Application) {
 		nm.used = nm.used.minus(am.Resource)
 		nm.removeContainer(am)
 		app.queue.uncharge(app.User, am.Resource)
+		rm.containerSpan(am, "app_finish")
 		rm.m.containersReleased.Inc()
 		rm.event(EvRelease, map[string]string{
 			"container": am.idStr(), "app": appID(app), "queue": app.Queue,
@@ -631,6 +658,11 @@ func (rm *ResourceManager) FinishApp(app *Application) {
 	app.queue.removeApp(app)
 	rm.appsFinished++
 	rm.m.appsFinished.Inc()
+	rm.m.reg.SpanCtx(app.ctx, SpanApp, time.Duration(app.SubmittedAt), time.Duration(app.FinishedAt), map[string]string{
+		"app":   appID(app),
+		"queue": app.Queue,
+		"user":  app.User,
+	})
 	rm.event(EvAppFinish, map[string]string{
 		"app": appID(app), "queue": app.Queue,
 		"wait_ns":     fmt.Sprint(int64(app.WaitTime())),
@@ -674,6 +706,7 @@ func (rm *ResourceManager) SetNodeActive(id cluster.NodeID, active bool) {
 				app.queue.uncharge(app.User, c.Resource)
 				app.amContainer = nil
 				app.State = AppPending
+				rm.containerSpan(c, "node_drain")
 				rm.event(EvRelease, map[string]string{
 					"container": c.idStr(), "app": appID(app), "queue": app.Queue,
 					"node": fmt.Sprint(int(nm.id)), "reason": "node_drain",
